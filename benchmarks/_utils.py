@@ -1,0 +1,11 @@
+"""Helpers shared by the benchmark modules."""
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    The experiments are full simulations (seconds to minutes); the
+    default multi-round calibration would multiply that for no insight.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)

@@ -1,0 +1,14 @@
+"""Section 6 ablation: 22 nm node (paper: savings grow to 36%/25%)."""
+
+from _utils import run_once
+from repro.experiments import ablations
+
+
+def test_ablation_22nm(benchmark, settings):
+    table = run_once(benchmark, ablations.run_22nm, settings)
+    print("\n" + table.formatted())
+    by_node = {row[0]: row[1:] for row in table.rows}
+    l2_45 = float(by_node["45nm"][0].lstrip("+").rstrip("%"))
+    l2_22 = float(by_node["22nm"][0].lstrip("+").rstrip("%"))
+    # Savings must not shrink when wires dominate more of the energy.
+    assert l2_22 >= l2_45 - 3.0

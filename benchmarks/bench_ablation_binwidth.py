@@ -1,0 +1,16 @@
+"""Section 6 ablation: distribution counter width (4b within 1% of 8b)."""
+
+from _utils import run_once
+from repro.experiments import ablations
+
+
+def test_ablation_binwidth(benchmark, settings):
+    table = run_once(benchmark, ablations.run_binwidth, settings)
+    print("\n" + table.formatted())
+    savings = {
+        row[0]: float(row[1].lstrip("+").rstrip("%"))
+        for row in table.rows
+    }
+    # 4-bit counters close to the 8-bit reference (paper: within 1%;
+    # we allow a few points at laptop scale).
+    assert abs(savings["4-bit"] - savings["8-bit"]) < 8.0

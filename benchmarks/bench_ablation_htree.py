@@ -1,0 +1,14 @@
+"""Section 2.1 ablation: H-tree interconnect (paper: +37% L2, +32% L3)."""
+
+from _utils import run_once
+from repro.experiments import ablations
+
+
+def test_ablation_htree(benchmark, settings):
+    table = run_once(benchmark, ablations.run_htree, settings)
+    print("\n" + table.formatted())
+    average = table.rows[-1]
+    l2 = float(average[1].lstrip("+").rstrip("%")) / 100
+    l3 = float(average[2].lstrip("+").rstrip("%")) / 100
+    assert 0.2 < l2 < 0.7
+    assert 0.2 < l3 < 0.7

@@ -1,0 +1,18 @@
+"""Section 7 ablation: rd-block granularity below page size."""
+
+from _utils import run_once
+from repro.experiments import ablations
+
+
+def test_ablation_rdblock(benchmark, settings):
+    table = run_once(benchmark, ablations.run_rdblock, settings,
+                     (0, 16))
+    print("\n" + table.formatted())
+    savings = {
+        row[0]: float(row[1].lstrip("+").rstrip("%")) for row in table.rows
+    }
+    # Sub-page blocks must stay in the same savings regime as per-page
+    # profiles (they trade metadata traffic for profile sharpness).
+    page = savings["page (4KB)"]
+    block = savings["1024 B"]
+    assert abs(block - page) < 25.0

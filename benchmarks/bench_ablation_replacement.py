@@ -1,0 +1,16 @@
+"""Section 7 ablation: SLIP under LRU / DRRIP / SHiP replacement."""
+
+from _utils import run_once
+from repro.experiments import ablations
+
+
+def test_ablation_replacement(benchmark, settings):
+    table = run_once(benchmark, ablations.run_replacement, settings)
+    print("\n" + table.formatted())
+    savings = {
+        row[0]: float(row[1].lstrip("+").rstrip("%")) for row in table.rows
+    }
+    # The randomized-sublevel adaptation must not destroy SLIP's
+    # benefit: all replacement policies land in a similar band.
+    assert savings["drrip"] > savings["lru"] - 20.0
+    assert savings["ship"] > savings["lru"] - 20.0

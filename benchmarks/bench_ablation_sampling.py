@@ -1,0 +1,15 @@
+"""Section 4.2 ablation: time-based sampling vs always-fetch metadata."""
+
+from _utils import run_once
+from repro.experiments import ablations
+
+
+def test_ablation_sampling(benchmark, settings):
+    table = run_once(benchmark, ablations.run_sampling, settings)
+    print("\n" + table.formatted())
+    for row in table.rows:
+        always_l2 = float(row[1].lstrip("+").rstrip("%"))
+        sampled_l2 = float(row[2].lstrip("+").rstrip("%"))
+        # Sampling must cut L2 metadata traffic versus always-fetch
+        # (paper: 27% -> <2% on the worst workload).
+        assert sampled_l2 < always_l2, row[0]

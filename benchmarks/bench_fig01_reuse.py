@@ -1,0 +1,13 @@
+"""Figure 1: lines by number of reuses before LLC eviction."""
+
+from _utils import run_once
+from repro.experiments import fig01_reuse
+
+
+def test_fig01_reuse_histogram(benchmark, settings):
+    table = run_once(benchmark, fig01_reuse.run, settings)
+    print("\n" + table.formatted())
+    average = table.rows[-1]
+    nr0 = float(average[1].rstrip("%")) / 100
+    # The paper's motivating observation: >70% of LLC lines die unused.
+    assert nr0 > 0.60

@@ -1,0 +1,16 @@
+"""Figure 3: soplex per-region reuse-distance classes."""
+
+from _utils import run_once
+from repro.experiments import fig03_soplex
+
+
+def test_fig03_soplex_regions(benchmark, settings):
+    table = run_once(benchmark, fig03_soplex.run, settings)
+    print("\n" + table.formatted())
+    rows = {row[0]: row[1:] for row in table.rows}
+    # rperm almost always misses (paper: ~100% beyond 256 KB).
+    rperm_miss = float(rows["rperm"][3].rstrip("%"))
+    assert rperm_miss > 80
+    # cperm has a dominant 64 KB hot fraction (paper: 66%).
+    cperm_hot = float(rows["cperm"][0].rstrip("%"))
+    assert cperm_hot > 40

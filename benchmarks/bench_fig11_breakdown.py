@@ -1,0 +1,39 @@
+"""Figure 11: access vs movement energy breakdown per policy."""
+
+from _utils import run_once
+from repro.experiments import fig11_breakdown
+from repro.experiments.common import arithmetic_mean
+
+
+def test_fig11_breakdown_l2(benchmark, settings):
+    data = run_once(
+        benchmark, fig11_breakdown.normalized_breakdowns, settings, "L2"
+    )
+    print("\n" + fig11_breakdown.run(settings, level="L2").formatted())
+    nurapid_total = arithmetic_mean(
+        [sum(v["nurapid"]) for v in data.values()]
+    )
+    slip_total = arithmetic_mean(
+        [sum(v["slip_abp"]) for v in data.values()]
+    )
+    nurapid_movement = arithmetic_mean(
+        [v["nurapid"][1] for v in data.values()]
+    )
+    baseline_movement = arithmetic_mean(
+        [v["baseline"][1] for v in data.values()]
+    )
+    # Paper: NuRAPID's movement energy explodes; SLIP lowers the total.
+    assert nurapid_total > 1.2
+    assert nurapid_movement > baseline_movement
+    assert slip_total < 1.0
+
+
+def test_fig11_breakdown_l3(benchmark, settings):
+    data = run_once(
+        benchmark, fig11_breakdown.normalized_breakdowns, settings, "L3"
+    )
+    print("\n" + fig11_breakdown.run(settings, level="L3").formatted())
+    nurapid_total = arithmetic_mean(
+        [sum(v["nurapid"]) for v in data.values()]
+    )
+    assert nurapid_total > 1.2

@@ -1,0 +1,15 @@
+"""Figure 13: speedups vs the regular hierarchy (paper: all within 1%)."""
+
+from _utils import run_once
+from repro.experiments import fig13_speedup
+
+
+def test_fig13_speedups(benchmark, settings):
+    table = run_once(benchmark, fig13_speedup.run, settings)
+    print("\n" + table.formatted())
+    average = table.rows[-1]
+    for cell in average[1:]:
+        value = float(cell.lstrip("+").rstrip("%")) / 100
+        # The paper's central claim: every policy lands within a few
+        # percent of baseline because DRAM time dominates.
+        assert abs(value) < 0.05

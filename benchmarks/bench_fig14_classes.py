@@ -1,0 +1,32 @@
+"""Figure 14: insertions by optimal-SLIP class (27% L2 / 14% L3 bypass)."""
+
+from _utils import run_once
+from repro.experiments import fig14_insertion_classes
+from repro.experiments.common import arithmetic_mean
+
+
+def test_fig14_insertion_classes_l2(benchmark, settings):
+    data = run_once(
+        benchmark, fig14_insertion_classes.class_fractions, settings,
+        "slip_abp", "L2",
+    )
+    print("\n" + fig14_insertion_classes.run(settings, level="L2")
+          .formatted())
+    abp = arithmetic_mean([v["abp"] for v in data.values()])
+    covered = arithmetic_mean([
+        v["abp"] + v["partial_bypass"] + v["default"]
+        for v in data.values()
+    ])
+    assert abp > 0.05, "a meaningful fraction of L2 inserts fully bypass"
+    assert covered > 0.9, "ABP+partial+default cover most insertions"
+
+
+def test_fig14_insertion_classes_l3(benchmark, settings):
+    data = run_once(
+        benchmark, fig14_insertion_classes.class_fractions, settings,
+        "slip_abp", "L3",
+    )
+    print("\n" + fig14_insertion_classes.run(settings, level="L3")
+          .formatted())
+    l3_abp = arithmetic_mean([v["abp"] for v in data.values()])
+    assert l3_abp >= 0.0

@@ -1,0 +1,37 @@
+"""Figure 15: access fractions per sublevel for all policies."""
+
+from _utils import run_once
+from repro.experiments import fig15_sublevel_fractions
+
+
+def test_fig15_sublevel_fractions_l2(benchmark, settings):
+    data = run_once(
+        benchmark, fig15_sublevel_fractions.average_fractions, settings,
+        "L2",
+    )
+    print("\n" + fig15_sublevel_fractions.run(settings, level="L2")
+          .formatted())
+    # Baseline splits roughly by capacity (25/25/50).
+    assert abs(data["baseline"][0] - 0.25) < 0.12
+    # Promotion/insertion policies shift accesses toward sublevel 0.
+    for policy in ("nurapid", "lru_pea", "slip_abp"):
+        assert data[policy][0] > data["baseline"][0], policy
+    # Plain SLIP (no ABP) shifts least and can tie baseline at small
+    # trace scales; it must not fall materially below.
+    assert data["slip"][0] > data["baseline"][0] - 0.03
+    # The promotion-based NUCA policies concentrate hardest.
+    assert data["nurapid"][0] > data["slip"][0]
+
+
+def test_fig15_sublevel_fractions_l3(benchmark, settings):
+    data = run_once(
+        benchmark, fig15_sublevel_fractions.average_fractions, settings,
+        "L3",
+    )
+    print("\n" + fig15_sublevel_fractions.run(settings, level="L3")
+          .formatted())
+    # At L3 reuse is low and NuRAPID's hits are often the first hit at
+    # a demoted location (the promotion lands after the hit), so the
+    # robust check is LRU-PEA, whose random insertion + promotion
+    # clearly shifts toward sublevel 0.
+    assert data["lru_pea"][0] > data["baseline"][0]

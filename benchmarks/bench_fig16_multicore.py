@@ -1,0 +1,14 @@
+"""Figure 16: two-core shared-L3 mixes (paper: 47% L3, 5.5% DRAM)."""
+
+from _utils import run_once
+from repro.experiments import fig16_multicore
+
+
+def test_fig16_multicore(benchmark, settings):
+    table = run_once(benchmark, fig16_multicore.run, settings)
+    print("\n" + table.formatted())
+    average = table.rows[-1]
+    l3 = float(average[1].lstrip("+").rstrip("%")) / 100
+    # Shared-L3 savings must be positive and larger than zero on
+    # average (the paper's multicore amplification effect).
+    assert l3 > 0.0

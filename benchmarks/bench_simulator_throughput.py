@@ -1,0 +1,32 @@
+"""Microbenchmark: simulator throughput (accesses/second).
+
+Not a paper figure — a regression guard for the substrate itself, and
+the one bench where pytest-benchmark's multi-round statistics are
+meaningful.
+"""
+
+from repro.sim.build import build_hierarchy
+from repro.sim.config import default_system
+from repro.workloads.benchmarks import make_trace
+
+N = 20_000
+
+
+def drive(policy: str) -> int:
+    config = default_system()
+    hierarchy = build_hierarchy(config, policy)
+    trace = make_trace("soplex", N)
+    access = hierarchy.access
+    for addr, wr in zip(trace.addresses.tolist(), trace.is_write.tolist()):
+        access(addr, wr)
+    return hierarchy.counters.demand_accesses
+
+
+def test_throughput_baseline(benchmark):
+    assert benchmark.pedantic(drive, args=("baseline",),
+                              rounds=2, iterations=1) == N
+
+
+def test_throughput_slip_abp(benchmark):
+    assert benchmark.pedantic(drive, args=("slip_abp",),
+                              rounds=2, iterations=1) == N

@@ -1,0 +1,43 @@
+"""Table 2: derive the published energy parameters from wire geometry."""
+
+import pytest
+
+from _utils import run_once
+from repro.topology import (
+    l2_geometry_45nm,
+    l3_geometry_45nm,
+    scale_to_22nm,
+)
+
+SUBLEVELS = (4, 4, 8)
+
+
+def derive_table2():
+    l2 = l2_geometry_45nm()
+    l3 = l3_geometry_45nm()
+    return {
+        "L2 sublevels": l2.sublevel_energies_pj(SUBLEVELS),
+        "L2 baseline": l2.uniform_access_energy_pj(),
+        "L3 sublevels": l3.sublevel_energies_pj(SUBLEVELS),
+        "L3 baseline": l3.uniform_access_energy_pj(),
+        "L2 htree": l2.htree_access_energy_pj(),
+        "L3 htree": l3.htree_access_energy_pj(),
+        "L2 22nm": scale_to_22nm(l2).sublevel_energies_pj(SUBLEVELS),
+    }
+
+
+def test_table2_energy_parameters(benchmark):
+    table = run_once(benchmark, derive_table2)
+    print("\nTable 2 (derived from wire geometry, paper values in []):")
+    print(f"  L2 sublevels: "
+          f"{[round(e, 1) for e in table['L2 sublevels']]} [21, 33, 50]")
+    print(f"  L2 baseline:  {table['L2 baseline']:.1f} [39]")
+    print(f"  L3 sublevels: "
+          f"{[round(e, 1) for e in table['L3 sublevels']]} [67, 113, 176]")
+    print(f"  L3 baseline:  {table['L3 baseline']:.1f} [136]")
+    for ours, paper in zip(table["L2 sublevels"], (21, 33, 50)):
+        assert ours == pytest.approx(paper, rel=0.05)
+    for ours, paper in zip(table["L3 sublevels"], (67, 113, 176)):
+        assert ours == pytest.approx(paper, rel=0.05)
+    assert table["L2 baseline"] == pytest.approx(39, rel=0.05)
+    assert table["L3 baseline"] == pytest.approx(136, rel=0.05)

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Watch SLIP adapt to a program phase change (Section 4.2).
+
+mcf's analog switches halfway through: its huge arc array goes from
+uniformly random (always misses -> worth bypassing) to hot-set dominated
+(worth caching in sublevel 0). Time-based sampling is what lets SLIP
+notice: stable pages periodically return to the sampling state, observe
+the new behaviour under the Default SLIP, and get re-optimized.
+
+The script snapshots the page-policy mix at intervals and prints how the
+population shifts from bypassing policies to caching ones after the
+phase change.
+
+Usage::
+
+    python examples/phase_adaptation.py [length]
+"""
+
+import sys
+from collections import Counter
+
+from repro.core.sampling import PageState
+from repro.sim.build import build_hierarchy
+from repro.sim.config import default_system
+from repro.workloads.benchmarks import make_trace
+
+
+def policy_census(runtime):
+    """Count stable pages by their L2 SLIP class."""
+    space = runtime.spaces["L2"]
+    census = Counter()
+    for entry in runtime.pages.values():
+        if entry.state is PageState.STABLE:
+            census[space.classify(entry.policies["L2"])] += 1
+        else:
+            census["(sampling)"] += 1
+    return census
+
+
+def main() -> None:
+    length = int(sys.argv[1]) if len(sys.argv) > 1 else 200_000
+    config = default_system()
+    trace = make_trace("mcf", length)
+    hierarchy = build_hierarchy(config, "slip_abp")
+    # Accelerate page-state convergence to laptop-scale traces, as the
+    # simulation drivers do during warmup.
+    hierarchy.runtime.sampler.nsamp = 2
+    hierarchy.runtime.sampler.nstab = 32
+
+    checkpoints = 8
+    step = length // checkpoints
+    addresses = trace.addresses.tolist()
+    writes = trace.is_write.tolist()
+
+    print(f"mcf analog, {length} accesses; phase change at 50%\n")
+    print(f"{'progress':>8s}  {'abp':>5s} {'partial':>7s} {'default':>7s} "
+          f"{'other':>5s} {'sampling':>8s}")
+    for chunk in range(checkpoints):
+        lo, hi = chunk * step, (chunk + 1) * step
+        for addr, wr in zip(addresses[lo:hi], writes[lo:hi]):
+            hierarchy.access(addr, wr)
+        census = policy_census(hierarchy.runtime)
+        total = sum(census.values()) or 1
+        print(
+            f"{(chunk + 1) / checkpoints:>8.0%}  "
+            f"{census['abp'] / total:>5.0%} "
+            f"{census['partial_bypass'] / total:>7.0%} "
+            f"{census['default'] / total:>7.0%} "
+            f"{census['other'] / total:>5.0%} "
+            f"{census['(sampling)'] / total:>8.0%}"
+        )
+
+    stats = hierarchy.runtime.stats
+    print(f"\npolicy recomputations: {stats.policy_recomputations}, "
+          f"stable->sampling returns: "
+          f"{stats.state_transitions_to_sampling}")
+    print(
+        "After the 50% mark, pages holding the newly-hot arc clusters "
+        "drift out of the bypassing classes (watch the partial/default "
+        "columns grow) — the stable->sampling returns above are the "
+        "Section 4.2 mechanism doing that re-learning. Without "
+        "time-based sampling those pages would stay bypassed forever."
+    )
+
+
+if __name__ == "__main__":
+    main()

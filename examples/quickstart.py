@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Quickstart: compare SLIP+ABP against a regular cache hierarchy.
+
+Runs the soplex benchmark analog through five policies — the regular
+baseline, the NuRAPID and LRU-PEA NUCA comparators, and SLIP with and
+without the All-Bypass Policy — and prints the L2/L3 energy picture the
+paper's Figure 9 is built from.
+
+Usage::
+
+    python examples/quickstart.py [trace_length]
+"""
+
+import sys
+
+from repro import run_policy_sweep
+from repro.sim.build import POLICY_NAMES
+
+
+def main() -> None:
+    length = int(sys.argv[1]) if len(sys.argv) > 1 else 150_000
+    print(f"Simulating soplex analog ({length} accesses, 5 policies)...")
+    results = run_policy_sweep("soplex", POLICY_NAMES, length=length)
+    base = results["baseline"]
+
+    header = (
+        f"{'policy':10s} {'L2 energy':>12s} {'L3 energy':>12s} "
+        f"{'L2 saved':>9s} {'L3 saved':>9s} {'speedup':>8s} "
+        f"{'SL0 hits':>9s}"
+    )
+    print()
+    print(header)
+    print("-" * len(header))
+    for policy in POLICY_NAMES:
+        r = results[policy]
+        l2 = r.level_energy_pj("L2") / 1e6
+        l3 = r.level_energy_pj("L3") / 1e6
+        sl0 = r.l2.sublevel_access_fractions()[0]
+        print(
+            f"{policy:10s} {l2:10.2f}uJ {l3:10.2f}uJ "
+            f"{r.energy_savings_over(base, 'L2'):+9.1%} "
+            f"{r.energy_savings_over(base, 'L3'):+9.1%} "
+            f"{r.speedup_over(base):+8.2%} {sl0:9.1%}"
+        )
+
+    slip = results["slip_abp"]
+    print()
+    print(
+        "SLIP+ABP insertion classes at L2 "
+        f"(paper: ~27% full bypass): {slip.l2.insertions_by_class}"
+    )
+    print(
+        "NuRAPID movement energy share: "
+        f"{results['nurapid'].l2.energy.move_total_pj / results['nurapid'].l2.energy.total_pj:.0%} "
+        "of its L2 energy — promotions are what the paper charges "
+        "NUCA policies for."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Explore how interconnect topology shapes SLIP's opportunity (§2.1).
+
+Derives per-sublevel access energies for the hierarchical-bus,
+set-interleaved and H-tree organizations of Figure 4, at 45 nm and
+22 nm, and shows the wire-energy asymmetry that SLIP exploits: with way
+interleaving the nearest ways are ~2.4x cheaper than the furthest; with
+set interleaving or an H-tree there is *no* asymmetry and therefore no
+reason to place or move lines at all.
+
+Usage::
+
+    python examples/topology_explorer.py
+"""
+
+from repro.topology import (
+    htree_energies,
+    l2_geometry_45nm,
+    l3_geometry_45nm,
+    scale_to_22nm,
+    set_interleaved_energies,
+)
+
+SUBLEVELS = (4, 4, 8)
+
+
+def describe(name, geometry):
+    way_interleaved = geometry.sublevel_energies_pj(SUBLEVELS)
+    uniform = geometry.uniform_access_energy_pj()
+    set_interleaved = set_interleaved_energies(geometry, 3)
+    htree = htree_energies(geometry, 3)
+
+    print(f"=== {name} ({geometry.node.name}) ===")
+    print(f"  bank energy: {geometry.bank_energy_pj:.1f} pJ, "
+          f"row pitch: {geometry.row_pitch_mm:.2f} mm")
+    print(f"  hierarchical bus, way interleaving (Fig 4a): "
+          f"{[f'{e:.0f}' for e in way_interleaved]} pJ "
+          f"(asymmetry {way_interleaved[-1] / way_interleaved[0]:.2f}x)")
+    print(f"  hierarchical bus, set interleaving (Fig 4b): "
+          f"{[f'{e:.0f}' for e in set_interleaved]} pJ (no asymmetry)")
+    print(f"  H-tree (Fig 4c): {[f'{e:.0f}' for e in htree]} pJ "
+          f"({htree[0] / uniform - 1:+.0%} vs the {uniform:.0f} pJ "
+          "baseline)")
+    print()
+
+
+def main() -> None:
+    for make, name in ((l2_geometry_45nm, "L2 (256 KB)"),
+                       (l3_geometry_45nm, "L3 (2 MB)")):
+        geometry = make()
+        describe(name, geometry)
+        describe(name, scale_to_22nm(geometry))
+
+    print("Takeaways (matching the paper):")
+    print(" * Way interleaving creates the 21->50 / 67->176 pJ spread of")
+    print("   Table 2 — the asymmetry SLIP's insertion policies exploit.")
+    print(" * Set interleaving and H-trees are uniform: no movement or")
+    print("   placement can save wire energy there (and the H-tree pays")
+    print("   ~37%/32% more on every access, Section 2.1).")
+    print(" * At 22 nm the near/far spread grows relative to bank energy,")
+    print("   which is why SLIP's savings improve with scaling (Section 6).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim for environments without the `wheel` package.
+
+`pip install -e .` uses PEP 517 editable installs which require building
+a wheel; this offline environment lacks the `wheel` package, so
+`python setup.py develop` (which needs only egg-info) is the fallback.
+All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,68 @@
+"""repro — a reproduction of *SLIP: Reducing Wire Energy in the Memory
+Hierarchy* (Das, Aamodt, Dally; ISCA 2015).
+
+The package provides:
+
+* :mod:`repro.core` — the SLIP policies, reuse-distance distributions,
+  the analytical energy model (Eq. 1-5) and the Energy Optimizer Unit;
+* :mod:`repro.mem` — the cache/TLB/DRAM substrate the policies run on;
+* :mod:`repro.topology` — wire-geometry energy models (Table 2);
+* :mod:`repro.policies` — the baseline, NuRAPID and LRU-PEA comparators;
+* :mod:`repro.workloads` — synthetic SPEC-CPU2006 benchmark analogs;
+* :mod:`repro.sim` — configuration (Tables 1-2) and simulation drivers;
+* :mod:`repro.experiments` — one module per paper table/figure.
+
+Quickstart::
+
+    from repro import run_policy_sweep
+
+    results = run_policy_sweep("soplex", ["baseline", "slip_abp"])
+    base, slip = results["baseline"], results["slip_abp"]
+    print(f"L2 energy saved: {slip.energy_savings_over(base, 'L2'):.1%}")
+"""
+
+from .core.distribution import ReuseDistanceDistribution
+from .core.energy_model import LevelEnergyParams, SlipEnergyModel
+from .core.eou import EnergyOptimizerUnit
+from .core.policy import Slip, SlipSpace, abp_slip, default_slip, enumerate_slips
+from .sim.build import POLICY_NAMES, build_hierarchy
+from .sim.config import (
+    CacheLevelConfig,
+    DramConfig,
+    SlipParams,
+    SystemConfig,
+    default_system,
+)
+from .sim.multi_core import run_mix
+from .sim.results import RunResult
+from .sim.single_core import run_benchmark, run_policy_sweep, run_trace
+from .workloads.benchmarks import BENCHMARKS, SPEC_ORDER, make_trace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BENCHMARKS",
+    "CacheLevelConfig",
+    "DramConfig",
+    "EnergyOptimizerUnit",
+    "LevelEnergyParams",
+    "POLICY_NAMES",
+    "ReuseDistanceDistribution",
+    "RunResult",
+    "SPEC_ORDER",
+    "Slip",
+    "SlipEnergyModel",
+    "SlipParams",
+    "SlipSpace",
+    "SystemConfig",
+    "abp_slip",
+    "build_hierarchy",
+    "default_slip",
+    "default_system",
+    "enumerate_slips",
+    "make_trace",
+    "run_benchmark",
+    "run_mix",
+    "run_policy_sweep",
+    "run_trace",
+]

@@ -1,0 +1,29 @@
+"""SLIP core: policies, distributions, energy model, EOU, controller."""
+
+from .controller import SlipPlacement
+from .distribution import ReuseDistanceDistribution
+from .energy_model import LevelEnergyParams, SlipEnergyModel, slip_coefficients
+from .eou import EnergyEvaluationUnit, EnergyOptimizerUnit
+from .policy import Slip, SlipSpace, abp_slip, default_slip, enumerate_slips
+from .runtime import BaselineRuntime, SlipPageEntry, SlipRuntime
+from .sampling import PageState, TimeBasedSampler
+
+__all__ = [
+    "BaselineRuntime",
+    "EnergyEvaluationUnit",
+    "EnergyOptimizerUnit",
+    "LevelEnergyParams",
+    "PageState",
+    "ReuseDistanceDistribution",
+    "Slip",
+    "SlipEnergyModel",
+    "SlipPageEntry",
+    "SlipPlacement",
+    "SlipRuntime",
+    "SlipSpace",
+    "TimeBasedSampler",
+    "abp_slip",
+    "default_slip",
+    "enumerate_slips",
+    "slip_coefficients",
+]

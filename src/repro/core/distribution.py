@@ -1,0 +1,113 @@
+"""Quantized reuse-distance distributions (Section 4.1).
+
+Each rd-block (one 4 KB page in the evaluation) keeps, per SLIP-managed
+cache level, K+1 low-precision counters for a level with K sublevels:
+one counter per reuse-distance range bounded by the cumulative sublevel
+capacities, plus a final bin for distances at or beyond the level's full
+capacity (where misses are counted). With 4-bit counters and 4 bins the
+distribution costs 16 bits per level — 32 bits per page for L2 + L3.
+
+To avoid saturation, *all* counters are halved whenever one would
+overflow, which also ages the statistics toward recent behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+
+class ReuseDistanceDistribution:
+    """Low-precision binned reuse-distance counters for one level."""
+
+    __slots__ = ("boundaries", "counts", "counter_max")
+
+    def __init__(self, boundaries: Sequence[int], counter_bits: int = 4) -> None:
+        """``boundaries`` are the cumulative sublevel capacities in lines.
+
+        A level with K sublevels passes K boundaries, producing K+1 bins.
+        """
+        if not boundaries:
+            raise ValueError("need at least one bin boundary")
+        if list(boundaries) != sorted(boundaries):
+            raise ValueError("boundaries must be non-decreasing")
+        if counter_bits < 1:
+            raise ValueError("counter_bits must be >= 1")
+        self.boundaries: Tuple[int, ...] = tuple(boundaries)
+        self.counter_max = (1 << counter_bits) - 1
+        self.counts: List[int] = [0] * (len(boundaries) + 1)
+
+    @property
+    def num_bins(self) -> int:
+        return len(self.counts)
+
+    @property
+    def storage_bits(self) -> int:
+        """Hardware cost of this distribution."""
+        bits_per_counter = self.counter_max.bit_length()
+        return bits_per_counter * self.num_bins
+
+    def bin_of(self, reuse_distance: int) -> int:
+        """Bin index for a reuse distance measured in cache lines."""
+        for idx, bound in enumerate(self.boundaries):
+            if reuse_distance < bound:
+                return idx
+        return len(self.boundaries)
+
+    def record(self, reuse_distance: int) -> None:
+        """Count one access with the given reuse distance."""
+        self.record_bin(self.bin_of(reuse_distance))
+
+    def record_miss(self) -> None:
+        """Misses are assumed to have reuse distance beyond capacity."""
+        self.record_bin(self.num_bins - 1)
+
+    def record_bin(self, bin_idx: int) -> None:
+        if self.counts[bin_idx] >= self.counter_max:
+            self.counts = [c >> 1 for c in self.counts]
+        self.counts[bin_idx] += 1
+
+    def total(self) -> int:
+        return sum(self.counts)
+
+    def probabilities(self) -> Tuple[float, ...]:
+        """Normalized bin probabilities; uniform if no data yet."""
+        total = self.total()
+        if total == 0:
+            return tuple(1.0 / self.num_bins for _ in self.counts)
+        return tuple(c / total for c in self.counts)
+
+    def is_warm(self, min_samples: int = 4) -> bool:
+        """Whether enough samples exist to trust the distribution."""
+        return self.total() >= min_samples
+
+    def copy(self) -> "ReuseDistanceDistribution":
+        clone = ReuseDistanceDistribution(
+            self.boundaries, self.counter_max.bit_length()
+        )
+        clone.counts = list(self.counts)
+        return clone
+
+    def pack(self) -> int:
+        """Pack counters into the hardware bit layout (low bin first)."""
+        bits = self.counter_max.bit_length()
+        packed = 0
+        for idx, count in enumerate(self.counts):
+            packed |= (count & self.counter_max) << (idx * bits)
+        return packed
+
+    @classmethod
+    def unpack(cls, packed: int, boundaries: Sequence[int],
+               counter_bits: int = 4) -> "ReuseDistanceDistribution":
+        dist = cls(boundaries, counter_bits)
+        mask = dist.counter_max
+        dist.counts = [
+            (packed >> (idx * counter_bits)) & mask
+            for idx in range(dist.num_bins)
+        ]
+        return dist
+
+    def __repr__(self) -> str:
+        return (
+            f"ReuseDistanceDistribution(bounds={self.boundaries}, "
+            f"counts={self.counts})"
+        )

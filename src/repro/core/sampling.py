@@ -1,0 +1,51 @@
+"""Time-based sampling of page reuse behaviour (Section 4.2).
+
+Each page is either *sampling* — its reuse-distance distribution is
+collected and its lines use the Default SLIP — or *stable* — the
+distribution is left alone and the PTE-resident SLIP steers insertions.
+On each TLB miss the state is re-drawn randomly: sampling pages become
+stable with probability 1/Nsamp and stable pages become sampling with
+probability 1/Nstab, so on average only Nsamp/(Nsamp+Nstab) of TLB
+misses (6% with the paper's 16/256) need to fetch distribution data,
+bounding metadata traffic while still tracking phase changes.
+"""
+
+from __future__ import annotations
+
+import random
+from enum import Enum
+
+
+class PageState(Enum):
+    SAMPLING = "sampling"
+    STABLE = "stable"
+
+
+class TimeBasedSampler:
+    """The random sampling/stable state machine for pages."""
+
+    def __init__(self, nsamp: int = 16, nstab: int = 256,
+                 seed: int = 0) -> None:
+        if nsamp < 1 or nstab < 1:
+            raise ValueError("Nsamp and Nstab must be positive")
+        self.nsamp = nsamp
+        self.nstab = nstab
+        self._rng = random.Random(seed)
+
+    def initial_state(self) -> PageState:
+        """Pages start sampling: their behaviour is unknown."""
+        return PageState.SAMPLING
+
+    def transition(self, state: PageState) -> PageState:
+        """Re-draw a page's state on a TLB miss."""
+        if state is PageState.SAMPLING:
+            if self._rng.random() < 1.0 / self.nsamp:
+                return PageState.STABLE
+            return PageState.SAMPLING
+        if self._rng.random() < 1.0 / self.nstab:
+            return PageState.SAMPLING
+        return PageState.STABLE
+
+    def expected_sampling_fraction(self) -> float:
+        """Steady-state fraction of TLB misses finding a sampling page."""
+        return self.nsamp / (self.nsamp + self.nstab)

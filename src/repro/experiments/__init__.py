@@ -1,0 +1,10 @@
+"""Experiment harness: one module per paper table/figure + ablations.
+
+See :mod:`repro.experiments.runner` for the CLI, or call each module's
+``run(settings)`` directly; all single-core figures share one memoized
+policy sweep (:func:`repro.experiments.common.shared_cache`).
+"""
+
+from .common import ALL_POLICIES, ExperimentSettings, Table, shared_cache
+
+__all__ = ["ALL_POLICIES", "ExperimentSettings", "Table", "shared_cache"]

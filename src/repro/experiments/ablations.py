@@ -1,0 +1,301 @@
+"""Ablation studies from the paper's text.
+
+* **H-tree interconnect** (Section 2.1): an H-tree makes every access
+  cost as much as the furthest bank; the paper measures +37% L2 / +32%
+  L3 energy versus the hierarchical-bus baseline.
+* **22 nm technology node** (Section 6): bank energy shrinks faster than
+  wire energy, so SLIP+ABP's savings grow slightly (36% L2 / 25% L3).
+* **Distribution bin width** (Section 6): 4-bit bins are within 1% of
+  wider counters; 2-bit bins collapse because small hit counts round to
+  zero and over-trigger bypassing.
+* **Time-based sampling** (Section 4.2): without sampling, distribution
+  metadata inflates L2 traffic by up to 27% (xalancbmk) and DRAM traffic
+  by 6%; with Nsamp=16/Nstab=256 both stay under ~2%.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Sequence, Tuple
+
+from ..sim.config import (
+    SystemConfig,
+    default_l2,
+    default_l3,
+    default_system,
+)
+from ..sim.single_core import run_trace
+from ..topology import (
+    l2_geometry_45nm,
+    l3_geometry_45nm,
+    scale_to_22nm,
+)
+from ..workloads.benchmarks import make_trace
+from .common import ExperimentSettings, Table, arithmetic_mean, pct
+
+#: Representative subset for parameter sweeps (one pointer-chaser, one
+#: phase-changer, one hot-set workload, one streamer).
+SWEEP_BENCHMARKS: Tuple[str, ...] = ("soplex", "mcf", "sphinx3", "lbm")
+
+
+# ----------------------------------------------------------------------
+# H-tree topology study
+# ----------------------------------------------------------------------
+def htree_config() -> SystemConfig:
+    """The Table 1 system with H-tree interconnects at L2 and L3."""
+    l2_htree = l2_geometry_45nm().htree_access_energy_pj()
+    l3_htree = l3_geometry_45nm().htree_access_energy_pj()
+    return dataclasses.replace(
+        default_system(),
+        l2=default_l2(energies=(l2_htree,) * 3, baseline_energy=l2_htree),
+        l3=default_l3(energies=(l3_htree,) * 3, baseline_energy=l3_htree),
+    )
+
+
+def run_htree(settings: Optional[ExperimentSettings] = None) -> Table:
+    settings = settings or ExperimentSettings()
+    normal = default_system()
+    htree = htree_config()
+    increases = {"L2": [], "L3": []}
+    rows = []
+    for benchmark in SWEEP_BENCHMARKS:
+        trace = make_trace(benchmark, settings.length, settings.seed)
+        base = run_trace(trace, "baseline", config=normal,
+                         warmup_fraction=settings.warmup_fraction)
+        tree = run_trace(trace, "baseline", config=htree,
+                         warmup_fraction=settings.warmup_fraction)
+        row = [benchmark]
+        for level in ("L2", "L3"):
+            increase = (
+                tree.level_energy_pj(level) / base.level_energy_pj(level)
+                - 1.0
+            )
+            increases[level].append(increase)
+            row.append(pct(increase))
+        rows.append(row)
+    rows.append([
+        "average",
+        pct(arithmetic_mean(increases["L2"])),
+        pct(arithmetic_mean(increases["L3"])),
+    ])
+    return Table(
+        title="Ablation: H-tree interconnect energy increase vs baseline",
+        headers=["benchmark", "L2 increase", "L3 increase"],
+        rows=rows,
+        notes="Paper: H-tree increases L2 energy by 37% and L3 by 32%.",
+    )
+
+
+# ----------------------------------------------------------------------
+# 22 nm technology study
+# ----------------------------------------------------------------------
+def config_22nm() -> SystemConfig:
+    """Table 1 system with energies re-derived at 22 nm."""
+    l2_geom = scale_to_22nm(l2_geometry_45nm())
+    l3_geom = scale_to_22nm(l3_geometry_45nm())
+    sublevels = (4, 4, 8)
+    l2_energies = l2_geom.sublevel_energies_pj(sublevels)
+    l3_energies = l3_geom.sublevel_energies_pj(sublevels)
+    return dataclasses.replace(
+        default_system(),
+        l2=default_l2(
+            energies=l2_energies,
+            baseline_energy=l2_geom.uniform_access_energy_pj(),
+            metadata_energy=0.5,
+        ),
+        l3=default_l3(
+            energies=l3_energies,
+            baseline_energy=l3_geom.uniform_access_energy_pj(),
+            metadata_energy=1.25,
+        ),
+    )
+
+
+def run_22nm(settings: Optional[ExperimentSettings] = None) -> Table:
+    settings = settings or ExperimentSettings()
+    rows = []
+    for node_name, config in (("45nm", default_system()),
+                              ("22nm", config_22nm())):
+        savings = {"L2": [], "L3": []}
+        for benchmark in SWEEP_BENCHMARKS:
+            trace = make_trace(benchmark, settings.length, settings.seed)
+            base = run_trace(trace, "baseline", config=config,
+                             warmup_fraction=settings.warmup_fraction)
+            slip = run_trace(trace, "slip_abp", config=config,
+                             warmup_fraction=settings.warmup_fraction)
+            for level in ("L2", "L3"):
+                savings[level].append(slip.energy_savings_over(base, level))
+        rows.append([
+            node_name,
+            pct(arithmetic_mean(savings["L2"])),
+            pct(arithmetic_mean(savings["L3"])),
+        ])
+    return Table(
+        title="Ablation: SLIP+ABP savings by technology node",
+        headers=["node", "L2 savings", "L3 savings"],
+        rows=rows,
+        notes=(
+            "Paper: 35%/22% at 45nm grows to 36%/25% at 22nm as wires "
+            "dominate a larger share of access energy."
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# Distribution bin-width study
+# ----------------------------------------------------------------------
+def run_binwidth(settings: Optional[ExperimentSettings] = None,
+                 bit_widths: Sequence[int] = (2, 3, 4, 6, 8)) -> Table:
+    settings = settings or ExperimentSettings()
+    rows = []
+    for bits in bit_widths:
+        config = default_system().with_slip(bin_bits=bits)
+        savings = []
+        for benchmark in SWEEP_BENCHMARKS:
+            trace = make_trace(benchmark, settings.length, settings.seed)
+            base = run_trace(trace, "baseline", config=config,
+                             warmup_fraction=settings.warmup_fraction)
+            slip = run_trace(trace, "slip_abp", config=config,
+                             warmup_fraction=settings.warmup_fraction)
+            savings.append(slip.energy_savings_over(base, "L2"))
+        rows.append([f"{bits}-bit", pct(arithmetic_mean(savings))])
+    return Table(
+        title="Ablation: L2 savings vs distribution counter width",
+        headers=["bin width", "L2 savings (SLIP+ABP)"],
+        rows=rows,
+        notes=(
+            "Paper: 4-bit bins within 1% of larger widths; sharp drop at "
+            "2 bits (hit counts round to zero, over-bypassing)."
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# rd-block granularity study (Section 7)
+# ----------------------------------------------------------------------
+def run_rdblock(settings: Optional[ExperimentSettings] = None,
+                block_lines: Sequence[int] = (0, 32, 16, 8)) -> Table:
+    """SLIP with reuse-distance blocks below page granularity.
+
+    Section 7 proposes rd-blocks smaller than a page (with a SLIP-cache
+    managing their metadata) for systems where per-page homogeneity does
+    not hold. Finer blocks sharpen the profiles but multiply metadata
+    traffic; this sweep shows the trade-off. 0 = one block per page.
+    """
+    settings = settings or ExperimentSettings()
+    rows = []
+    for lines in block_lines:
+        config = default_system().with_slip(rd_block_lines=lines)
+        savings, dram = [], []
+        for benchmark in SWEEP_BENCHMARKS:
+            trace = make_trace(benchmark, settings.length, settings.seed)
+            base = run_trace(trace, "baseline", config=config,
+                             warmup_fraction=settings.warmup_fraction)
+            slip = run_trace(trace, "slip_abp", config=config,
+                             warmup_fraction=settings.warmup_fraction)
+            savings.append(slip.energy_savings_over(base, "L2"))
+            dram.append(slip.relative_dram_traffic(base))
+        label = "page (4KB)" if lines == 0 else f"{lines * 64} B"
+        rows.append([
+            label,
+            pct(arithmetic_mean(savings)),
+            f"{arithmetic_mean(dram):.3f}",
+        ])
+    return Table(
+        title="Ablation: rd-block granularity (Section 7 extension)",
+        headers=["rd-block", "L2 savings", "relative DRAM traffic"],
+        rows=rows,
+        notes=(
+            "Per-page profiles are the paper's default; sub-page blocks "
+            "trade sharper per-block policies against extra metadata "
+            "traffic through the SLIP-cache."
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# Replacement-policy study (Section 7)
+# ----------------------------------------------------------------------
+def run_replacement(settings: Optional[ExperimentSettings] = None,
+                    replacements: Sequence[str] = ("lru", "drrip", "ship")
+                    ) -> Table:
+    """SLIP under different underlying replacement policies.
+
+    Section 7 argues SLIP is orthogonal to replacement: DRRIP/SHiP are
+    adapted by picking a random sublevel of the chunk (weighted by
+    size), preserving their scan/thrash resistance. The study checks
+    that SLIP+ABP's savings and miss behaviour hold across policies.
+    """
+    settings = settings or ExperimentSettings()
+    rows = []
+    for replacement in replacements:
+        savings, rel_misses = [], []
+        for benchmark in SWEEP_BENCHMARKS:
+            trace = make_trace(benchmark, settings.length, settings.seed)
+            base = run_trace(trace, "baseline", replacement=replacement,
+                             warmup_fraction=settings.warmup_fraction)
+            slip = run_trace(trace, "slip_abp", replacement=replacement,
+                             warmup_fraction=settings.warmup_fraction)
+            savings.append(slip.energy_savings_over(base, "L2"))
+            rel_misses.append(slip.relative_misses(base, "L2"))
+        rows.append([
+            replacement,
+            pct(arithmetic_mean(savings)),
+            f"{arithmetic_mean(rel_misses):.3f}",
+        ])
+    return Table(
+        title="Ablation: SLIP+ABP under different replacement policies",
+        headers=["replacement", "L2 savings", "relative L2 misses"],
+        rows=rows,
+        notes=(
+            "Section 7: the randomized-sublevel adaptation preserves "
+            "DRRIP/SHiP behaviour, so savings should be in the same "
+            "band as LRU."
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# Time-based sampling study
+# ----------------------------------------------------------------------
+def run_sampling(settings: Optional[ExperimentSettings] = None) -> Table:
+    settings = settings or ExperimentSettings()
+    rows = []
+    benchmarks = ("soplex", "xalancbmk", "mcf")
+    for benchmark in benchmarks:
+        trace = make_trace(benchmark, settings.length, settings.seed)
+        base = run_trace(trace, "baseline",
+                         warmup_fraction=settings.warmup_fraction)
+        sampled = run_trace(trace, "slip_abp",
+                            warmup_fraction=settings.warmup_fraction)
+        always = run_trace(trace, "slip_abp", always_sample=True,
+                           warmup_fraction=settings.warmup_fraction)
+        # Overhead metric: metadata *accesses* (the paper's "traffic"),
+        # relative to baseline demand accesses at the level.
+        base_l2 = base.l2.demand_accesses or 1
+        base_dram = base.dram_traffic() or 1
+        def l2_meta(result):
+            return result.l2.metadata_hits + result.l2.metadata_misses
+        rows.append([
+            benchmark,
+            pct(l2_meta(always) / base_l2),
+            pct(l2_meta(sampled) / base_l2),
+            pct(always.dram_traffic() / base_dram - 1.0),
+            pct(sampled.dram_traffic() / base_dram - 1.0),
+        ])
+    return Table(
+        title="Ablation: metadata traffic, always-fetch vs time-based",
+        headers=[
+            "benchmark",
+            "L2 meta (always)",
+            "L2 meta (sampled)",
+            "DRAM overhead (always)",
+            "DRAM overhead (sampled)",
+        ],
+        rows=rows,
+        notes=(
+            "Paper: without sampling, metadata adds up to 27% L2 traffic "
+            "and 6% DRAM traffic (xalancbmk); with Nsamp=16/Nstab=256 "
+            "both stay under ~2%/1.5%."
+        ),
+    )

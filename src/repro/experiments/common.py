@@ -1,0 +1,147 @@
+"""Shared infrastructure for the per-figure experiment modules.
+
+All single-core figures (9-15) are views over the same policy sweep, so
+results are cached per (benchmark, policy, length, seed, config) and
+each figure module formats its own slice. Experiment scale is set by
+``ExperimentSettings``; the defaults aim for minutes, not hours, and the
+``REPRO_EXP_LENGTH`` environment variable scales everything up for
+higher-fidelity runs.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..sim.config import SystemConfig, default_system
+from ..sim.results import RunResult
+from ..sim.single_core import run_trace
+from ..workloads.benchmarks import SPEC_ORDER, make_trace
+
+ALL_POLICIES: Tuple[str, ...] = (
+    "baseline", "nurapid", "lru_pea", "slip", "slip_abp",
+)
+SLIP_POLICIES: Tuple[str, ...] = ("slip", "slip_abp")
+
+
+@dataclass(frozen=True)
+class ExperimentSettings:
+    """Scale and reproducibility knobs shared by every experiment."""
+
+    length: int = int(os.environ.get("REPRO_EXP_LENGTH", 300_000))
+    seed: int = int(os.environ.get("REPRO_EXP_SEED", 0))
+    warmup_fraction: float = 0.3
+    benchmarks: Tuple[str, ...] = SPEC_ORDER
+
+    def scaled(self, factor: float) -> "ExperimentSettings":
+        return ExperimentSettings(
+            length=max(1000, int(self.length * factor)),
+            seed=self.seed,
+            warmup_fraction=self.warmup_fraction,
+            benchmarks=self.benchmarks,
+        )
+
+
+@dataclass
+class Table:
+    """A printable experiment result: headers, rows, paper reference."""
+
+    title: str
+    headers: List[str]
+    rows: List[List[str]]
+    notes: str = ""
+
+    def to_markdown(self) -> str:
+        """Render as a GitHub-flavoured markdown table."""
+        lines = [f"### {self.title}", ""]
+        lines.append("| " + " | ".join(str(h) for h in self.headers) + " |")
+        lines.append("|" + "|".join("---" for _ in self.headers) + "|")
+        for row in self.rows:
+            lines.append("| " + " | ".join(str(c) for c in row) + " |")
+        if self.notes:
+            lines.append("")
+            lines.append(f"*{self.notes}*")
+        lines.append("")
+        return "\n".join(lines)
+
+    def formatted(self) -> str:
+        widths = [
+            max(len(str(h)), *(len(str(r[i])) for r in self.rows))
+            if self.rows else len(str(h))
+            for i, h in enumerate(self.headers)
+        ]
+        def fmt_row(cells: Sequence[str]) -> str:
+            return "  ".join(
+                str(c).rjust(w) if i else str(c).ljust(w)
+                for i, (c, w) in enumerate(zip(cells, widths))
+            )
+        lines = [self.title, "=" * len(self.title), fmt_row(self.headers),
+                 fmt_row(["-" * w for w in widths])]
+        lines.extend(fmt_row(row) for row in self.rows)
+        if self.notes:
+            lines.append("")
+            lines.append(self.notes)
+        return "\n".join(lines)
+
+
+class SweepCache:
+    """Memoized (benchmark, policy) -> RunResult sweep runner."""
+
+    def __init__(self, settings: ExperimentSettings,
+                 config: Optional[SystemConfig] = None) -> None:
+        self.settings = settings
+        self.config = config or default_system()
+        self._results: Dict[Tuple[str, str], RunResult] = {}
+        self._traces: Dict[str, object] = {}
+
+    def trace(self, benchmark: str):
+        if benchmark not in self._traces:
+            self._traces[benchmark] = make_trace(
+                benchmark, self.settings.length, self.settings.seed
+            )
+        return self._traces[benchmark]
+
+    def result(self, benchmark: str, policy: str) -> RunResult:
+        key = (benchmark, policy)
+        if key not in self._results:
+            self._results[key] = run_trace(
+                self.trace(benchmark),
+                policy,
+                config=self.config,
+                seed=self.settings.seed,
+                warmup_fraction=self.settings.warmup_fraction,
+            )
+        return self._results[key]
+
+    def results_for(self, benchmark: str,
+                    policies: Sequence[str]) -> Dict[str, RunResult]:
+        return {p: self.result(benchmark, p) for p in policies}
+
+
+_shared_caches: Dict[Tuple[int, int, float], SweepCache] = {}
+
+
+def shared_cache(settings: ExperimentSettings) -> SweepCache:
+    """Process-wide cache so figure modules reuse each other's runs."""
+    key = (settings.length, settings.seed, settings.warmup_fraction)
+    if key not in _shared_caches:
+        _shared_caches[key] = SweepCache(settings)
+    return _shared_caches[key]
+
+
+def pct(x: float) -> str:
+    return f"{x:+.1%}"
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    if not values:
+        return 0.0
+    product = 1.0
+    for v in values:
+        product *= max(v, 1e-12)
+    return product ** (1.0 / len(values))
+
+
+def arithmetic_mean(values: Sequence[float]) -> float:
+    return sum(values) / len(values) if values else 0.0

@@ -1,0 +1,38 @@
+"""Memory-hierarchy substrate: caches, replacement, TLB, DRAM."""
+
+from .cache import CacheLevel, EvictedLine, Line
+from .dram import Dram
+from .hierarchy import MemoryHierarchy
+from .movement_queue import MovementQueue, MovementQueueFullError
+from .replacement import (
+    DrripReplacement,
+    LruReplacement,
+    RandomReplacement,
+    ReplacementPolicy,
+    ShipReplacement,
+    make_replacement,
+)
+from .stats import DramStats, EnergyBreakdown, LevelStats
+from .tlb import Tlb, distribution_line_address, pte_line_address
+
+__all__ = [
+    "CacheLevel",
+    "Dram",
+    "DramStats",
+    "DrripReplacement",
+    "EnergyBreakdown",
+    "EvictedLine",
+    "LevelStats",
+    "Line",
+    "LruReplacement",
+    "MemoryHierarchy",
+    "MovementQueue",
+    "MovementQueueFullError",
+    "RandomReplacement",
+    "ReplacementPolicy",
+    "ShipReplacement",
+    "Tlb",
+    "distribution_line_address",
+    "make_replacement",
+    "pte_line_address",
+]

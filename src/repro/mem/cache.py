@@ -1,0 +1,357 @@
+"""A set-associative cache level with sublevel-aware accounting.
+
+:class:`CacheLevel` holds the array state (tags, dirty bits, per-line
+SLIP metadata) and exposes the primitives that placement policies build
+on: probe, hit bookkeeping, victim selection restricted to a subset of
+ways, extraction and placement of lines. Every primitive charges the
+correct read/write energy for the sublevel of the way it touches.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..sim.config import CacheLevelConfig
+from .replacement import ReplacementPolicy, ShipReplacement
+from .stats import LevelStats
+
+#: Sentinel chunk index for lines not managed by a SLIP.
+NO_CHUNK = -1
+
+
+class Line:
+    """One cache line's state, including SLIP metadata.
+
+    ``policy_id`` and ``chunk_idx`` realise the 6 b per-line policy copy
+    and the position in that policy's chunk sequence; ``ts`` is the 6-bit
+    timestamp ``TL`` used to measure reuse distances; ``hits`` counts
+    reuses for Figure 1.
+    """
+
+    __slots__ = (
+        "tag", "valid", "dirty", "lru", "policy_id", "chunk_idx", "ts",
+        "demoted", "rrpv", "signature", "outcome", "hits", "page",
+        "sampling", "is_metadata",
+    )
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self.tag = -1
+        self.valid = False
+        self.dirty = False
+        self.lru = 0
+        self.policy_id = 0
+        self.chunk_idx = NO_CHUNK
+        self.ts = 0
+        self.demoted = False
+        self.rrpv = 0
+        self.signature = 0
+        self.outcome = False
+        self.hits = 0
+        self.page = -1
+        self.sampling = False
+        self.is_metadata = False
+
+
+class EvictedLine:
+    """Snapshot of a line leaving a way, handed to the placement policy."""
+
+    __slots__ = (
+        "tag", "dirty", "policy_id", "chunk_idx", "ts", "hits", "page",
+        "sampling", "demoted", "rrpv", "signature", "outcome", "is_metadata",
+        "from_way", "lru",
+    )
+
+    def __init__(self, line: Line, from_way: int) -> None:
+        self.lru = line.lru
+        self.tag = line.tag
+        self.dirty = line.dirty
+        self.policy_id = line.policy_id
+        self.chunk_idx = line.chunk_idx
+        self.ts = line.ts
+        self.hits = line.hits
+        self.page = line.page
+        self.sampling = line.sampling
+        self.demoted = line.demoted
+        self.rrpv = line.rrpv
+        self.signature = line.signature
+        self.outcome = line.outcome
+        self.is_metadata = line.is_metadata
+        self.from_way = from_way
+
+
+class CacheLevel:
+    """One level of the hierarchy (L1, L2 or L3)."""
+
+    def __init__(self, cfg: CacheLevelConfig, replacement: ReplacementPolicy,
+                 track_metadata_energy: bool = False,
+                 timestamp_bits: int = 6) -> None:
+        self.cfg = cfg
+        self.replacement = replacement
+        replacement.attach(self)
+        self.track_metadata_energy = track_metadata_energy
+        self.timestamp_bits = timestamp_bits
+        # Exact-type check: subclasses (e.g. PEA's demoted-first LRU)
+        # override victim selection and must not take the fast path.
+        self._plain_lru = type(replacement).__name__ == "LruReplacement"
+        # Rotating start offset for invalid-way allocation scans.
+        self._alloc_rotor = 0
+        self.sets: List[List[Line]] = [
+            [Line() for _ in range(cfg.ways)] for _ in range(cfg.sets)
+        ]
+        # tag -> way index per set, kept in sync by every placement
+        # primitive; makes probe O(1) instead of an associative scan.
+        self._index: List[dict] = [{} for _ in range(cfg.sets)]
+        self.stats = LevelStats(cfg.name, num_sublevels=cfg.num_sublevels)
+        # Level access counter T; wraps every 4C accesses (Section 4.1).
+        self.access_counter = 0
+        self.timestamp_wrap = 4 * cfg.lines
+
+    def reset_stats(self) -> None:
+        """Zero all counters/energy while keeping the array state.
+
+        Used at the end of a warmup phase, mirroring how the paper's
+        SimPoint methodology excludes warmup from measurement.
+        """
+        self.stats = LevelStats(
+            self.cfg.name, num_sublevels=self.cfg.num_sublevels
+        )
+
+    # ------------------------------------------------------------------
+    # Addressing
+    # ------------------------------------------------------------------
+    def set_index(self, line_addr: int) -> int:
+        return line_addr % len(self.sets)
+
+    def probe(self, line_addr: int) -> Tuple[int, Optional[int]]:
+        """Locate a line without side effects. Returns (set, way|None)."""
+        set_idx = line_addr % len(self.sets)
+        return set_idx, self._index[set_idx].get(line_addr)
+
+    def tick(self) -> int:
+        """Advance and return the level access counter T."""
+        self.access_counter = (self.access_counter + 1) % self.timestamp_wrap
+        return self.access_counter
+
+    # ------------------------------------------------------------------
+    # Timestamps for reuse-distance measurement (Section 4.1)
+    # ------------------------------------------------------------------
+    def timestamp_now(self) -> int:
+        """The ``timestamp_bits`` MSBs of the level access counter."""
+        granule = self.timestamp_wrap >> self.timestamp_bits
+        return (self.access_counter // granule) % (1 << self.timestamp_bits)
+
+    def reuse_distance(self, line_ts: int) -> int:
+        """Approximate reuse distance, in lines, from a stored timestamp.
+
+        The wrap-around subtraction mirrors the hardware: a line whose
+        timestamp is older than one full wrap aliases to a shorter
+        distance, which is the accepted imprecision of a 6-bit stamp.
+        """
+        span = 1 << self.timestamp_bits
+        granule = self.timestamp_wrap >> self.timestamp_bits
+        delta = (self.timestamp_now() - line_ts) % span
+        return delta * granule
+
+    # ------------------------------------------------------------------
+    # Access primitives (with energy accounting)
+    # ------------------------------------------------------------------
+    def record_hit(self, set_idx: int, way: int, is_write: bool,
+                   is_metadata: bool = False) -> int:
+        """Account a demand/metadata hit; returns the hit latency."""
+        line = self.sets[set_idx][way]
+        line.hits += 1
+        if is_write:
+            line.dirty = True
+        if is_metadata:
+            self.stats.metadata_hits += 1
+        else:
+            self.stats.demand_hits += 1
+        sublevel = self.cfg.sublevel_of_way(way)
+        self.stats.hits_by_sublevel[sublevel] += 1
+        self.stats.energy.read_pj += self.cfg.read_energy_pj(way)
+        if self.track_metadata_energy:
+            self.stats.energy.metadata_pj += self.cfg.metadata_energy_pj
+        self.replacement.on_hit(set_idx, way, line)
+        return self.cfg.latency_of_way(way)
+
+    def record_miss(self, is_metadata: bool = False) -> int:
+        """Account a miss; returns the miss-probe latency."""
+        if is_metadata:
+            self.stats.metadata_misses += 1
+        else:
+            self.stats.demand_misses += 1
+        if self.track_metadata_energy:
+            self.stats.energy.metadata_pj += self.cfg.metadata_energy_pj
+        if isinstance(self.replacement, ShipReplacement):
+            pass  # SHCT training happens on eviction, not on miss
+        return self.cfg.latency_cycles
+
+    # ------------------------------------------------------------------
+    # Placement primitives
+    # ------------------------------------------------------------------
+    def find_invalid_way(self, set_idx: int,
+                         candidate_ways: Sequence[int]) -> Optional[int]:
+        lines = self.sets[set_idx]
+        for way in candidate_ways:
+            if not lines[way].valid:
+                return way
+        return None
+
+    def choose_victim(self, set_idx: int,
+                      candidate_ways: Sequence[int]) -> int:
+        """Pick a way to vacate: invalid first, else ask replacement.
+
+        The scan for an invalid way starts at a rotating offset: always
+        starting at way 0 would fill cold sets lowest-way-first, piling
+        recently-inserted (most reusable) lines into sublevel 0 and
+        biasing the baseline's sublevel access fractions — real designs
+        allocate pseudo-randomly among invalid ways.
+        """
+        lines = self.sets[set_idx]
+        n = len(candidate_ways)
+        self._alloc_rotor = (self._alloc_rotor + 1) % 64
+        rotor = self._alloc_rotor % n
+        if self._plain_lru:
+            # Fused invalid + min-LRU scan; one pass, rotated start.
+            best_way, best_lru = -1, None
+            for i in range(n):
+                way = candidate_ways[(i + rotor) % n]
+                line = lines[way]
+                if not line.valid:
+                    return way
+                if best_lru is None or line.lru < best_lru:
+                    best_way, best_lru = way, line.lru
+            return best_way
+        for i in range(n):
+            way = candidate_ways[(i + rotor) % n]
+            if not lines[way].valid:
+                return way
+        return self.replacement.choose_victim(
+            set_idx, candidate_ways, lines
+        )
+
+    def extract(self, set_idx: int, way: int) -> Optional[EvictedLine]:
+        """Remove and return the line at (set, way); None if invalid.
+
+        Extraction alone is neutral: the caller either re-places the
+        line (a movement) or calls :meth:`record_departure` when the
+        line truly leaves the level.
+        """
+        line = self.sets[set_idx][way]
+        if not line.valid:
+            return None
+        evicted = EvictedLine(line, way)
+        del self._index[set_idx][line.tag]
+        line.reset()
+        return evicted
+
+    def record_departure(self, evicted: EvictedLine) -> None:
+        """Bookkeeping for a line that left the level for good."""
+        self.stats.record_reuse_count(evicted.hits)
+        if isinstance(self.replacement, ShipReplacement):
+            self.replacement.on_evict(evicted)
+
+    def place_fill(self, set_idx: int, way: int, line_addr: int, *,
+                   dirty: bool = False, policy_id: int = 0,
+                   chunk_idx: int = NO_CHUNK, page: int = -1,
+                   sampling: bool = False, is_metadata: bool = False,
+                   timestamp: int = 0) -> None:
+        """Install a brand-new line (fetched from the next level)."""
+        line = self.sets[set_idx][way]
+        if line.valid:
+            raise RuntimeError("place_fill into a valid way; extract first")
+        line.valid = True
+        line.tag = line_addr
+        self._index[set_idx][line_addr] = way
+        line.dirty = dirty
+        line.policy_id = policy_id
+        line.chunk_idx = chunk_idx
+        line.page = page
+        line.sampling = sampling
+        line.is_metadata = is_metadata
+        line.ts = timestamp
+        line.hits = 0
+        self.stats.insertions += 1
+        self.stats.energy.insertion_pj += self.cfg.write_energy_pj(way)
+        if self.track_metadata_energy:
+            self.stats.energy.metadata_pj += self.cfg.metadata_energy_pj
+        self.replacement.on_fill(set_idx, way, line)
+
+    def place_moved(self, set_idx: int, way: int,
+                    moved: EvictedLine, new_chunk_idx: int,
+                    movement_queue_pj: float = 0.0,
+                    demoted: bool = True) -> None:
+        """Install a line moved from another way of the same set."""
+        line = self.sets[set_idx][way]
+        if line.valid:
+            raise RuntimeError("place_moved into a valid way; extract first")
+        line.valid = True
+        line.tag = moved.tag
+        self._index[set_idx][moved.tag] = way
+        line.dirty = moved.dirty
+        line.policy_id = moved.policy_id
+        line.chunk_idx = new_chunk_idx
+        line.ts = moved.ts
+        line.hits = moved.hits
+        line.page = moved.page
+        line.sampling = moved.sampling
+        line.demoted = demoted
+        line.lru = moved.lru
+        line.rrpv = moved.rrpv
+        line.signature = moved.signature
+        line.outcome = moved.outcome
+        line.is_metadata = moved.is_metadata
+        self.stats.movements += 1
+        # A movement reads the source way and writes the destination way.
+        self.stats.energy.movement_pj += (
+            self.cfg.read_energy_pj(moved.from_way)
+            + self.cfg.write_energy_pj(way)
+        )
+        self.stats.energy.movement_queue_pj += movement_queue_pj
+        self.replacement.on_move_in(set_idx, way, line)
+
+    def record_writeback_in(self, set_idx: int, way: int) -> None:
+        """An incoming writeback updates a resident line in place.
+
+        Writeback updates do not refresh recency: they are not demand
+        reuse, and promoting on them would distort the replacement order.
+        """
+        line = self.sets[set_idx][way]
+        line.dirty = True
+        self.stats.energy.writeback_pj += self.cfg.write_energy_pj(way)
+
+    def record_writeback_out(self, from_way: int) -> None:
+        """Charge the read of a dirty line leaving this level."""
+        self.stats.writebacks_out += 1
+        self.stats.energy.writeback_pj += self.cfg.read_energy_pj(from_way)
+
+    def record_bypass(self, slip_class: str = "abp") -> None:
+        self.stats.bypasses += 1
+        self.stats.insertions_by_class[slip_class] += 1
+
+    # ------------------------------------------------------------------
+    # Invalidation (coherence / multi-level consistency)
+    # ------------------------------------------------------------------
+    def invalidate(self, line_addr: int) -> Optional[EvictedLine]:
+        """Invalidate a line if present; returns its snapshot if dirty."""
+        set_idx, way = self.probe(line_addr)
+        if way is None:
+            return None
+        evicted = self.extract(set_idx, way)
+        if evicted is not None:
+            self.record_departure(evicted)
+        return evicted
+
+    # ------------------------------------------------------------------
+    # Introspection helpers (used by tests)
+    # ------------------------------------------------------------------
+    def resident_lines(self) -> List[Line]:
+        return [
+            line for line_set in self.sets for line in line_set if line.valid
+        ]
+
+    def occupancy(self) -> float:
+        return len(self.resident_lines()) / self.cfg.lines

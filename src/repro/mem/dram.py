@@ -1,0 +1,32 @@
+"""DRAM model: fixed latency, per-line transfer energy.
+
+Energy follows the paper's Table 2 (20 pJ/bit, from Vogelsang's Idd4 +
+Idd7RW analysis): moving one 64-byte line to or from DRAM costs
+10,240 pJ — roughly 75x an average L3 access, which is why SLIP bypasses
+far less aggressively at L3 than at L2 (Section 6).
+"""
+
+from __future__ import annotations
+
+from ..sim.config import DramConfig
+from .stats import DramStats
+
+
+class Dram:
+    """The memory controller endpoint of the hierarchy."""
+
+    def __init__(self, cfg: DramConfig) -> None:
+        self.cfg = cfg
+        self.stats = DramStats()
+
+    def read(self) -> int:
+        """Fetch one line; returns the access latency in cycles."""
+        self.stats.reads += 1
+        self.stats.energy_pj += self.cfg.energy_pj_per_line
+        return self.cfg.latency_cycles
+
+    def write(self) -> int:
+        """Write one line back; returns the access latency in cycles."""
+        self.stats.writes += 1
+        self.stats.energy_pj += self.cfg.energy_pj_per_line
+        return self.cfg.latency_cycles

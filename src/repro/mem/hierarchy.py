@@ -1,0 +1,241 @@
+"""The multi-level memory hierarchy driver.
+
+Wires L1 / L2 / L3 / DRAM together with per-level placement policies,
+the TLB runtime (baseline or SLIP), and full energy/latency accounting.
+The hierarchy is non-inclusive and write-back / write-allocate at L1;
+writebacks are write-no-allocate at L2/L3 (they update a resident copy
+or are forwarded onward). Metadata fetches triggered by TLB misses are
+real accesses into L2/L3/DRAM at reserved page-table addresses, so the
+metadata traffic of Figure 12 emerges from the same machinery as demand
+traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..policies.base import PlacementPolicy
+from ..policies.baseline import BaselinePlacement
+from ..sim.config import SystemConfig
+from .cache import CacheLevel
+from .dram import Dram
+from .replacement import LruReplacement, ReplacementPolicy
+
+
+@dataclass
+class HierarchyCounters:
+    """Cross-level counters not attributable to a single cache."""
+
+    demand_accesses: int = 0
+    l1_hits: int = 0
+    dram_demand_reads: int = 0
+    dram_metadata_reads: int = 0
+    dram_writebacks: int = 0
+    total_latency_cycles: int = 0
+
+    @property
+    def dram_reads(self) -> int:
+        return self.dram_demand_reads + self.dram_metadata_reads
+
+
+class MemoryHierarchy:
+    """A single core's view of the cache hierarchy."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        l2_placement: PlacementPolicy,
+        l3_placement: PlacementPolicy,
+        runtime,
+        l2_replacement: Optional[ReplacementPolicy] = None,
+        l3_replacement: Optional[ReplacementPolicy] = None,
+        track_slip_metadata_energy: bool = False,
+        shared_l3: Optional[Tuple[CacheLevel, PlacementPolicy]] = None,
+    ) -> None:
+        self.config = config
+        self.runtime = runtime
+        ts_bits = config.slip.timestamp_bits
+
+        self.l1 = CacheLevel(config.l1, LruReplacement(),
+                             timestamp_bits=ts_bits)
+        self.l1_placement = BaselinePlacement()
+        self.l1_placement.attach(self.l1)
+
+        self.l2 = CacheLevel(
+            config.l2, l2_replacement or LruReplacement(),
+            track_metadata_energy=track_slip_metadata_energy,
+            timestamp_bits=ts_bits,
+        )
+        self.l2_placement = l2_placement
+        l2_placement.attach(self.l2)
+
+        if shared_l3 is not None:
+            self.l3, self.l3_placement = shared_l3
+        else:
+            self.l3 = CacheLevel(
+                config.l3, l3_replacement or LruReplacement(),
+                track_metadata_energy=track_slip_metadata_energy,
+                timestamp_bits=ts_bits,
+            )
+            self.l3_placement = l3_placement
+            l3_placement.attach(self.l3)
+
+        self.dram = Dram(config.dram)
+        self.counters = HierarchyCounters()
+        # page number = line address >> log2(lines per page)
+        shift, lines = 0, config.lines_per_page
+        while (1 << shift) < lines:
+            shift += 1
+        self._page_shift = shift
+
+    # ------------------------------------------------------------------
+    def page_of(self, line_addr: int) -> int:
+        return line_addr >> self._page_shift
+
+    # ------------------------------------------------------------------
+    # Public access entry point
+    # ------------------------------------------------------------------
+    def access(self, line_addr: int, is_write: bool = False) -> int:
+        """One demand access; returns its total latency in cycles."""
+        self.counters.demand_accesses += 1
+        page = self.page_of(line_addr)
+        for metadata_addr in self.runtime.on_reference(page, line_addr):
+            self._access_below_l1(metadata_addr, is_metadata=True, page=-1)
+        # The profile key is the page by default, or the rd-block under
+        # the Section 7 extension; all SLIP metadata is keyed by it.
+        key = self.runtime.profile_key(page, line_addr)
+        latency = self._demand_access(line_addr, is_write, key)
+        self.counters.total_latency_cycles += latency
+        return latency
+
+    # ------------------------------------------------------------------
+    def _demand_access(self, line_addr: int, is_write: bool,
+                       page: int) -> int:
+        set_idx, way = self.l1.probe(line_addr)
+        if way is not None:
+            self.counters.l1_hits += 1
+            return self.l1.record_hit(set_idx, way, is_write)
+        latency = self.l1.record_miss()
+        latency += self._access_below_l1(line_addr, is_metadata=False,
+                                         page=page)
+        # Allocate into L1 (write-allocate); dirty if this is a store.
+        outcome = self.l1_placement.fill(line_addr, page=page,
+                                         dirty=is_write)
+        for wb_addr in outcome.writebacks:
+            self._writeback_below_l1(wb_addr)
+        if is_write:
+            l1_set, l1_way = self.l1.probe(line_addr)
+            assert l1_way is not None
+            self.l1.sets[l1_set][l1_way].dirty = True
+        return latency
+
+    # ------------------------------------------------------------------
+    def _access_below_l1(self, line_addr: int, is_metadata: bool,
+                         page: int) -> int:
+        """Access L2 -> L3 -> DRAM; fill missing levels on the way back."""
+        latency = 0
+
+        # ----- L2 -----
+        self.l2.tick()
+        set_idx, way = self.l2.probe(line_addr)
+        if way is not None:
+            latency += self.l2.record_hit(set_idx, way, is_write=False,
+                                          is_metadata=is_metadata)
+            self.l2_placement.on_hit(set_idx, way)
+            return latency
+        latency += self.l2.record_miss(is_metadata)
+        if not is_metadata and self.runtime.slip_enabled:
+            self.runtime.record_miss_sample("L2", page)
+
+        # ----- L3 -----
+        self.l3.tick()
+        l3_set, l3_way = self.l3.probe(line_addr)
+        l3_hit = l3_way is not None
+        if l3_hit:
+            latency += self.l3.record_hit(l3_set, l3_way, is_write=False,
+                                          is_metadata=is_metadata)
+            self.l3_placement.on_hit(l3_set, l3_way)
+        else:
+            latency += self.l3.record_miss(is_metadata)
+            if not is_metadata and self.runtime.slip_enabled:
+                self.runtime.record_miss_sample("L3", page)
+            latency += self.dram.read()
+            if is_metadata:
+                self.counters.dram_metadata_reads += 1
+            else:
+                self.counters.dram_demand_reads += 1
+            # Fill L3 (possibly bypassed by SLIP's ABP).
+            outcome = self.l3_placement.fill(
+                line_addr, page=page, is_metadata=is_metadata
+            )
+            for wb_addr in outcome.writebacks:
+                self._writeback_to_dram(wb_addr)
+
+        # Fill L2 on the way back (possibly bypassed).
+        outcome = self.l2_placement.fill(
+            line_addr, page=page, is_metadata=is_metadata
+        )
+        for wb_addr in outcome.writebacks:
+            self._writeback_to_l3(wb_addr)
+        return latency
+
+    # ------------------------------------------------------------------
+    # Writeback paths (write-no-allocate below the originating level)
+    # ------------------------------------------------------------------
+    def _writeback_below_l1(self, line_addr: int) -> None:
+        self.l2.tick()
+        set_idx, way = self.l2.probe(line_addr)
+        if way is not None:
+            self.l2.record_writeback_in(set_idx, way)
+            return
+        self._writeback_to_l3(line_addr)
+
+    def _writeback_to_l3(self, line_addr: int) -> None:
+        self.l3.tick()
+        set_idx, way = self.l3.probe(line_addr)
+        if way is not None:
+            self.l3.record_writeback_in(set_idx, way)
+            return
+        self._writeback_to_dram(line_addr)
+
+    def _writeback_to_dram(self, line_addr: int) -> None:
+        self.dram.write()
+        self.counters.dram_writebacks += 1
+
+    # ------------------------------------------------------------------
+    def reset_stats(self) -> None:
+        """Zero every counter while keeping cache/TLB/page state warm."""
+        for level in self.levels:
+            level.reset_stats()
+        self.dram.stats = type(self.dram.stats)()
+        self.counters = HierarchyCounters()
+        self.runtime.tlb.stats = type(self.runtime.tlb.stats)()
+        self.runtime.stats = type(self.runtime.stats)()
+        if getattr(self.runtime, "slip_enabled", False):
+            for eou in self.runtime.eous.values():
+                eou.stats = type(eou.stats)()
+
+    # ------------------------------------------------------------------
+    def finalize(self) -> None:
+        """Record reuse statistics for lines still resident at the end."""
+        for level in (self.l1, self.l2, self.l3):
+            for line in level.resident_lines():
+                level.stats.record_reuse_count(line.hits)
+
+    # ------------------------------------------------------------------
+    @property
+    def levels(self) -> List[CacheLevel]:
+        return [self.l1, self.l2, self.l3]
+
+    def invalidate(self, line_addr: int) -> None:
+        """Invalidate a line everywhere, writing back dirty copies."""
+        for level, forward in (
+            (self.l1, self._writeback_below_l1),
+            (self.l2, self._writeback_to_l3),
+            (self.l3, self._writeback_to_dram),
+        ):
+            evicted = level.invalidate(line_addr)
+            if evicted is not None and evicted.dirty:
+                level.record_writeback_out(evicted.from_way)
+                forward(line_addr)

@@ -1,0 +1,129 @@
+"""Event and energy counters for cache levels and DRAM."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class EnergyBreakdown:
+    """Per-level energy in picojoules, split by cause.
+
+    Figure 11 of the paper groups these as *access* (``read_pj``) versus
+    *movement* (``insertion_pj + movement_pj + writeback_pj``), with
+    metadata and movement-queue overheads charged on top.
+    """
+
+    read_pj: float = 0.0
+    insertion_pj: float = 0.0
+    movement_pj: float = 0.0
+    writeback_pj: float = 0.0
+    metadata_pj: float = 0.0
+    movement_queue_pj: float = 0.0
+    eou_pj: float = 0.0
+
+    @property
+    def access_pj(self) -> float:
+        return self.read_pj
+
+    @property
+    def move_total_pj(self) -> float:
+        return self.insertion_pj + self.movement_pj + self.writeback_pj
+
+    @property
+    def total_pj(self) -> float:
+        return (
+            self.read_pj
+            + self.insertion_pj
+            + self.movement_pj
+            + self.writeback_pj
+            + self.metadata_pj
+            + self.movement_queue_pj
+            + self.eou_pj
+        )
+
+    def merged_with(self, other: "EnergyBreakdown") -> "EnergyBreakdown":
+        return EnergyBreakdown(
+            read_pj=self.read_pj + other.read_pj,
+            insertion_pj=self.insertion_pj + other.insertion_pj,
+            movement_pj=self.movement_pj + other.movement_pj,
+            writeback_pj=self.writeback_pj + other.writeback_pj,
+            metadata_pj=self.metadata_pj + other.metadata_pj,
+            movement_queue_pj=self.movement_queue_pj + other.movement_queue_pj,
+            eou_pj=self.eou_pj + other.eou_pj,
+        )
+
+
+@dataclass
+class LevelStats:
+    """Counters for one cache level."""
+
+    name: str
+    num_sublevels: int = 1
+    demand_hits: int = 0
+    demand_misses: int = 0
+    metadata_hits: int = 0
+    metadata_misses: int = 0
+    hits_by_sublevel: List[int] = field(default_factory=list)
+    insertions: int = 0
+    bypasses: int = 0
+    movements: int = 0
+    writebacks_out: int = 0
+    insertions_by_class: Dict[str, int] = field(default_factory=dict)
+    reuse_histogram: Dict[str, int] = field(
+        default_factory=lambda: {"0": 0, "1": 0, "2": 0, ">2": 0}
+    )
+    energy: EnergyBreakdown = field(default_factory=EnergyBreakdown)
+
+    def __post_init__(self) -> None:
+        if not self.hits_by_sublevel:
+            self.hits_by_sublevel = [0] * self.num_sublevels
+        for cls in ("abp", "partial_bypass", "default", "other"):
+            self.insertions_by_class.setdefault(cls, 0)
+
+    @property
+    def hits(self) -> int:
+        return self.demand_hits + self.metadata_hits
+
+    @property
+    def misses(self) -> int:
+        return self.demand_misses + self.metadata_misses
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def demand_accesses(self) -> int:
+        return self.demand_hits + self.demand_misses
+
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    def record_reuse_count(self, hits: int) -> None:
+        """Count a line eviction by the number of hits it saw (Figure 1)."""
+        if hits <= 2:
+            self.reuse_histogram[str(hits)] += 1
+        else:
+            self.reuse_histogram[">2"] += 1
+
+    def sublevel_access_fractions(self) -> List[float]:
+        """Fraction of this level's hits served by each sublevel."""
+        total = sum(self.hits_by_sublevel)
+        if not total:
+            return [0.0] * self.num_sublevels
+        return [h / total for h in self.hits_by_sublevel]
+
+
+@dataclass
+class DramStats:
+    """DRAM access counters."""
+
+    reads: int = 0
+    writes: int = 0
+    energy_pj: float = 0.0
+
+    @property
+    def accesses(self) -> int:
+        return self.reads + self.writes

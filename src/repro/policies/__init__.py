@@ -1,0 +1,15 @@
+"""Placement policies: the baseline and the NUCA comparators."""
+
+from .base import FillOutcome, PlacementPolicy
+from .baseline import BaselinePlacement
+from .lru_pea import LruPeaPlacement, PeaLruReplacement
+from .nurapid import NurapidPlacement
+
+__all__ = [
+    "BaselinePlacement",
+    "FillOutcome",
+    "LruPeaPlacement",
+    "NurapidPlacement",
+    "PeaLruReplacement",
+    "PlacementPolicy",
+]

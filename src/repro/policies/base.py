@@ -1,0 +1,68 @@
+"""Placement-policy interface shared by baseline, NUCA and SLIP caches.
+
+A placement policy decides *where* in a level a line lives over its
+lifetime: which ways an incoming line may be inserted into, what happens
+to the victim it displaces (demotion, movement, eviction), and whether a
+hit triggers promotion. Victim *selection* inside the allowed ways is
+delegated to the level's replacement policy — SLIP is orthogonal to
+replacement (Section 3.1).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..mem.cache import CacheLevel, EvictedLine
+
+
+@dataclass
+class FillOutcome:
+    """Result of offering a line to a level."""
+
+    inserted: bool
+    writebacks: List[int] = field(default_factory=list)
+    #: Clean lines evicted from the level entirely (for inclusion upkeep
+    #: and statistics; no writeback traffic).
+    clean_evictions: List[int] = field(default_factory=list)
+
+
+class PlacementPolicy(ABC):
+    """Insertion/movement policy for one cache level."""
+
+    #: Whether the policy moves lines between ways and therefore needs
+    #: the movement queue (and pays its lookup energy per movement).
+    performs_movement: bool = False
+
+    def __init__(self) -> None:
+        self.level: Optional[CacheLevel] = None
+
+    def attach(self, level: CacheLevel) -> None:
+        self.level = level
+
+    @abstractmethod
+    def fill(self, line_addr: int, *, page: int = -1, dirty: bool = False,
+             is_metadata: bool = False) -> FillOutcome:
+        """Offer a line fetched from the next level to this level."""
+
+    def on_hit(self, set_idx: int, way: int) -> None:
+        """Hook invoked after hit bookkeeping; may move lines."""
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+    def _evict_from_level(self, victim: EvictedLine,
+                          outcome: FillOutcome) -> None:
+        """Account a line leaving the level entirely.
+
+        Only dirty victims cost energy: their data must be read out and
+        written back. Clean victims are simply overwritten.
+        """
+        assert self.level is not None
+        self.level.record_departure(victim)
+        if victim.dirty:
+            self.level.record_writeback_out(victim.from_way)
+            outcome.writebacks.append(victim.tag)
+        else:
+            outcome.clean_evictions.append(victim.tag)

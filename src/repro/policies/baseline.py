@@ -1,0 +1,36 @@
+"""The regular cache hierarchy: insert anywhere, never move.
+
+This is the paper's baseline. Victims are chosen across all ways by the
+underlying replacement policy; access energy is the uniform (way-mean)
+energy because, with way interleaving, a line lands in a random-energy
+way and stays there.
+"""
+
+from __future__ import annotations
+
+from .base import FillOutcome, PlacementPolicy
+
+
+class BaselinePlacement(PlacementPolicy):
+    """Ordinary insertion into any way; no intra-level movement."""
+
+    performs_movement = False
+
+    def fill(self, line_addr: int, *, page: int = -1, dirty: bool = False,
+             is_metadata: bool = False) -> FillOutcome:
+        level = self.level
+        assert level is not None
+        outcome = FillOutcome(inserted=True)
+        set_idx = level.set_index(line_addr)
+        all_ways = range(level.cfg.ways)
+        way = level.choose_victim(set_idx, all_ways)
+        victim = level.extract(set_idx, way)
+        if victim is not None:
+            self._evict_from_level(victim, outcome)
+        level.place_fill(
+            set_idx, way, line_addr, dirty=dirty, page=page,
+            is_metadata=is_metadata,
+            timestamp=level.timestamp_now(),
+        )
+        level.stats.insertions_by_class["default"] += 1
+        return outcome

@@ -1,0 +1,96 @@
+"""NuRAPID placement (Chishti et al., MICRO 2003), as simulated in §5.
+
+NuRAPID partitions a cache into distance groups (d-groups) of banks with
+similar delay; for a fair comparison the paper sets the d-groups equal
+to the SLIP sublevels. Lines are initially placed in the *nearest*
+d-group; a line is promoted back to the nearest d-group when it receives
+a hit (swapping with a victim there) and demoted one d-group further
+when displaced. Latency-wise this is excellent; energy-wise every
+promotion costs two reads and two writes, which is why the paper
+measures NuRAPID at +84% L2 / +94% L3 energy.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..mem.cache import EvictedLine
+from .base import FillOutcome, PlacementPolicy
+
+
+class NurapidPlacement(PlacementPolicy):
+    """Nearest-d-group insertion with promotion-on-hit and demotion."""
+
+    performs_movement = True
+
+    def __init__(self, movement_queue_pj: float = 0.3) -> None:
+        super().__init__()
+        self.movement_queue_pj = movement_queue_pj
+
+    # ------------------------------------------------------------------
+    def _sublevel_ways(self, sublevel: int) -> List[int]:
+        assert self.level is not None
+        return list(self.level.cfg.ways_of_sublevel(sublevel))
+
+    def _demote(self, victim: EvictedLine, from_sublevel: int,
+                outcome: FillOutcome) -> None:
+        """Push a displaced line one d-group further, cascading."""
+        level = self.level
+        assert level is not None
+        set_idx = level.set_index(victim.tag)
+        sublevel = from_sublevel + 1
+        while victim is not None:
+            if sublevel >= level.cfg.num_sublevels:
+                self._evict_from_level(victim, outcome)
+                return
+            ways = self._sublevel_ways(sublevel)
+            way = level.choose_victim(set_idx, ways)
+            displaced = level.extract(set_idx, way)
+            level.place_moved(
+                set_idx, way, victim,
+                new_chunk_idx=victim.chunk_idx,
+                movement_queue_pj=self.movement_queue_pj,
+                demoted=True,
+            )
+            victim = displaced
+            sublevel += 1
+
+    # ------------------------------------------------------------------
+    def fill(self, line_addr: int, *, page: int = -1, dirty: bool = False,
+             is_metadata: bool = False) -> FillOutcome:
+        level = self.level
+        assert level is not None
+        outcome = FillOutcome(inserted=True)
+        set_idx = level.set_index(line_addr)
+        nearest = self._sublevel_ways(0)
+        way = level.choose_victim(set_idx, nearest)
+        victim = level.extract(set_idx, way)
+        if victim is not None:
+            self._demote(victim, from_sublevel=0, outcome=outcome)
+        level.place_fill(
+            set_idx, way, line_addr, dirty=dirty, page=page,
+            is_metadata=is_metadata, timestamp=level.timestamp_now(),
+        )
+        level.stats.insertions_by_class["default"] += 1
+        return outcome
+
+    def on_hit(self, set_idx: int, way: int) -> None:
+        """Promote the hitting line to the nearest d-group by swapping."""
+        level = self.level
+        assert level is not None
+        if level.cfg.sublevel_of_way(way) == 0:
+            return
+        nearest = self._sublevel_ways(0)
+        target = level.choose_victim(set_idx, nearest)
+        promoted = level.extract(set_idx, way)
+        displaced = level.extract(set_idx, target)
+        assert promoted is not None
+        level.place_moved(
+            set_idx, target, promoted, new_chunk_idx=promoted.chunk_idx,
+            movement_queue_pj=self.movement_queue_pj, demoted=False,
+        )
+        if displaced is not None:
+            level.place_moved(
+                set_idx, way, displaced, new_chunk_idx=displaced.chunk_idx,
+                movement_queue_pj=self.movement_queue_pj, demoted=True,
+            )

@@ -1,0 +1,54 @@
+"""Simulation drivers and system configuration (Tables 1 and 2).
+
+Configuration types are imported eagerly; the drivers are resolved
+lazily (PEP 562) because they pull in :mod:`repro.core`, which itself
+depends on :mod:`repro.sim.config` — eager imports would cycle.
+"""
+
+from .config import (
+    CacheLevelConfig,
+    CoreConfig,
+    DramConfig,
+    SlipParams,
+    SystemConfig,
+    default_l2,
+    default_l3,
+    default_system,
+)
+
+_LAZY = {
+    "POLICY_NAMES": ("repro.sim.build", "POLICY_NAMES"),
+    "build_hierarchy": ("repro.sim.build", "build_hierarchy"),
+    "MulticoreResult": ("repro.sim.multi_core", "MulticoreResult"),
+    "run_mix": ("repro.sim.multi_core", "run_mix"),
+    "RunResult": ("repro.sim.results", "RunResult"),
+    "collect_result": ("repro.sim.results", "collect_result"),
+    "run_benchmark": ("repro.sim.single_core", "run_benchmark"),
+    "run_policy_sweep": ("repro.sim.single_core", "run_policy_sweep"),
+    "run_trace": ("repro.sim.single_core", "run_trace"),
+    "TimingResult": ("repro.sim.timing", "TimingResult"),
+    "execution_time": ("repro.sim.timing", "execution_time"),
+}
+
+__all__ = [
+    "CacheLevelConfig",
+    "CoreConfig",
+    "DramConfig",
+    "SlipParams",
+    "SystemConfig",
+    "default_l2",
+    "default_l3",
+    "default_system",
+] + sorted(_LAZY)
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attr)

@@ -1,0 +1,93 @@
+"""Assemble a memory hierarchy for each evaluated policy.
+
+Policy names follow the paper's figures:
+
+* ``baseline``  — regular cache hierarchy (insert anywhere, never move);
+* ``nurapid``   — NuRAPID with d-groups equal to the SLIP sublevels;
+* ``lru_pea``   — LRU-PEA with bankclusters equal to the SLIP sublevels;
+* ``slip``      — SLIP without the All-Bypass Policy in the pool;
+* ``slip_abp``  — SLIP with ABP (the paper's headline configuration).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..core.controller import SlipPlacement
+from ..core.energy_model import LevelEnergyParams
+from ..core.runtime import BaselineRuntime, SlipRuntime
+from ..mem.hierarchy import MemoryHierarchy
+from ..mem.replacement import make_replacement
+from ..policies.baseline import BaselinePlacement
+from ..policies.lru_pea import LruPeaPlacement, PeaLruReplacement
+from ..policies.nurapid import NurapidPlacement
+from .config import SystemConfig
+
+POLICY_NAMES: Tuple[str, ...] = (
+    "baseline", "nurapid", "lru_pea", "slip", "slip_abp",
+)
+
+
+def build_hierarchy(
+    config: SystemConfig,
+    policy: str,
+    seed: int = 0,
+    replacement: str = "lru",
+    level_energy_overrides: Optional[Dict[str, LevelEnergyParams]] = None,
+    always_sample: bool = False,
+) -> MemoryHierarchy:
+    """A single-core hierarchy running the named policy."""
+    policy = policy.lower()
+    mq_pj = config.slip.movement_queue_lookup_pj
+
+    if policy == "baseline":
+        return MemoryHierarchy(
+            config,
+            l2_placement=BaselinePlacement(),
+            l3_placement=BaselinePlacement(),
+            runtime=BaselineRuntime(config),
+            l2_replacement=make_replacement(replacement, seed),
+            l3_replacement=make_replacement(replacement, seed + 1),
+        )
+
+    if policy == "nurapid":
+        return MemoryHierarchy(
+            config,
+            l2_placement=NurapidPlacement(mq_pj),
+            l3_placement=NurapidPlacement(mq_pj),
+            runtime=BaselineRuntime(config),
+            l2_replacement=make_replacement(replacement, seed),
+            l3_replacement=make_replacement(replacement, seed + 1),
+        )
+
+    if policy == "lru_pea":
+        return MemoryHierarchy(
+            config,
+            l2_placement=LruPeaPlacement(mq_pj, seed=seed),
+            l3_placement=LruPeaPlacement(mq_pj, seed=seed + 1),
+            runtime=BaselineRuntime(config),
+            l2_replacement=PeaLruReplacement(),
+            l3_replacement=PeaLruReplacement(),
+        )
+
+    if policy in ("slip", "slip_abp"):
+        runtime = SlipRuntime(
+            config,
+            allow_abp=(policy == "slip_abp"),
+            seed=seed,
+            level_energy_overrides=level_energy_overrides,
+            always_sample=always_sample,
+        )
+        return MemoryHierarchy(
+            config,
+            l2_placement=SlipPlacement(runtime.spaces["L2"], runtime, mq_pj),
+            l3_placement=SlipPlacement(runtime.spaces["L3"], runtime, mq_pj),
+            runtime=runtime,
+            l2_replacement=make_replacement(replacement, seed),
+            l3_replacement=make_replacement(replacement, seed + 1),
+            track_slip_metadata_energy=True,
+        )
+
+    raise ValueError(
+        f"unknown policy {policy!r}; expected one of {POLICY_NAMES}"
+    )

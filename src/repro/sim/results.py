@@ -1,0 +1,120 @@
+"""Result containers and energy roll-ups for simulation runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..mem.hierarchy import HierarchyCounters, MemoryHierarchy
+from ..mem.stats import DramStats, LevelStats
+from .config import SystemConfig
+from .timing import TimingResult
+
+
+@dataclass
+class RunResult:
+    """Everything measured from one (policy, benchmark) simulation."""
+
+    policy: str
+    benchmark: str
+    config: SystemConfig
+    l1: LevelStats
+    l2: LevelStats
+    l3: LevelStats
+    dram: DramStats
+    counters: HierarchyCounters
+    timing: TimingResult
+    eou_energy_pj: Dict[str, float] = field(default_factory=dict)
+    runtime_stats: Optional[object] = None
+
+    # ------------------------------------------------------------------
+    # Energy roll-ups
+    # ------------------------------------------------------------------
+    def level_energy_pj(self, level: str) -> float:
+        """Total energy of one cache level, including its EOU share."""
+        stats = {"L1": self.l1, "L2": self.l2, "L3": self.l3}[level]
+        return stats.energy.total_pj + self.eou_energy_pj.get(level, 0.0)
+
+    def full_system_energy_pj(self) -> float:
+        """Core + L1 + L2 + L3 + DRAM dynamic energy (Figure 10)."""
+        core = self.config.core
+        core_pj = core.core_energy_pj_per_instr * self.timing.instructions
+        return (
+            core_pj
+            + self.level_energy_pj("L1")
+            + self.level_energy_pj("L2")
+            + self.level_energy_pj("L3")
+            + self.dram.energy_pj
+        )
+
+    # ------------------------------------------------------------------
+    # Traffic metrics
+    # ------------------------------------------------------------------
+    def miss_traffic(self, level: str) -> Dict[str, int]:
+        """Demand and metadata miss counts at one level (Figure 12)."""
+        stats = {"L2": self.l2, "L3": self.l3}[level]
+        return {
+            "demand": stats.demand_misses,
+            "metadata": stats.metadata_misses,
+        }
+
+    def dram_traffic(self) -> int:
+        """Total DRAM accesses: fills + writebacks, demand + metadata."""
+        return self.dram.accesses
+
+    # ------------------------------------------------------------------
+    # Comparisons against a baseline run
+    # ------------------------------------------------------------------
+    def energy_savings_over(self, baseline: "RunResult",
+                            level: str) -> float:
+        """Fractional energy savings at one level (0.35 == 35%)."""
+        base = baseline.level_energy_pj(level)
+        if base == 0:
+            return 0.0
+        return 1.0 - self.level_energy_pj(level) / base
+
+    def full_system_savings_over(self, baseline: "RunResult") -> float:
+        base = baseline.full_system_energy_pj()
+        if base == 0:
+            return 0.0
+        return 1.0 - self.full_system_energy_pj() / base
+
+    def relative_misses(self, baseline: "RunResult", level: str) -> float:
+        """(demand + metadata misses) relative to baseline demand misses."""
+        mine = self.miss_traffic(level)
+        base = baseline.miss_traffic(level)["demand"]
+        if base == 0:
+            return 1.0
+        return (mine["demand"] + mine["metadata"]) / base
+
+    def relative_dram_traffic(self, baseline: "RunResult") -> float:
+        base = baseline.dram_traffic()
+        if base == 0:
+            return 1.0
+        return self.dram_traffic() / base
+
+    def speedup_over(self, baseline: "RunResult") -> float:
+        return self.timing.speedup_over(baseline.timing)
+
+
+def collect_result(policy: str, benchmark: str, config: SystemConfig,
+                   hierarchy: MemoryHierarchy,
+                   timing: TimingResult) -> RunResult:
+    """Snapshot a finished hierarchy into a RunResult."""
+    eou = {}
+    runtime = hierarchy.runtime
+    if getattr(runtime, "slip_enabled", False):
+        eou = {name: runtime.eou_energy_pj(name) for name in ("L2", "L3")}
+    return RunResult(
+        policy=policy,
+        benchmark=benchmark,
+        config=config,
+        l1=hierarchy.l1.stats,
+        l2=hierarchy.l2.stats,
+        l3=hierarchy.l3.stats,
+        dram=hierarchy.dram.stats,
+        counters=hierarchy.counters,
+        timing=timing,
+        eou_energy_pj=eou,
+        runtime_stats=getattr(runtime, "stats", None),
+    )

@@ -1,0 +1,54 @@
+"""AMAT-based execution-time model (for Figure 13's speedups).
+
+The paper's speedups are fractions of a percent: SPEC hit rates in
+L2/L3 are low enough that DRAM time dominates, and SLIP's effects are a
+few cycles on L2/L3 hits plus slightly better hit rates under bypassing.
+We therefore model execution time as base work plus the exposed part of
+memory stalls, rather than simulating an OoO core cycle by cycle; only
+orderings and signs are expected to transfer, not absolute percentages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..mem.hierarchy import MemoryHierarchy
+from .config import CoreConfig
+
+
+@dataclass(frozen=True)
+class TimingResult:
+    instructions: float
+    exec_cycles: float
+    stall_cycles: float
+    amat_cycles: float
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.exec_cycles if self.exec_cycles else 0.0
+
+    def speedup_over(self, baseline: "TimingResult") -> float:
+        """Relative speedup vs a baseline run (0.01 == +1%)."""
+        if self.exec_cycles == 0:
+            return 0.0
+        return baseline.exec_cycles / self.exec_cycles - 1.0
+
+
+def execution_time(hierarchy: MemoryHierarchy, instructions: float,
+                   core: CoreConfig) -> TimingResult:
+    """Execution time estimate after a trace has been simulated."""
+    counters = hierarchy.counters
+    accesses = counters.demand_accesses
+    l1_latency = hierarchy.l1.cfg.latency_cycles
+    total_latency = counters.total_latency_cycles
+    # L1-hit latency is assumed pipelined away; only the excess stalls.
+    stall = max(0.0, total_latency - accesses * l1_latency)
+    stall += hierarchy.runtime.extra_stall_cycles()
+    exec_cycles = instructions * core.base_cpi + core.stall_exposure * stall
+    amat = total_latency / accesses if accesses else 0.0
+    return TimingResult(
+        instructions=instructions,
+        exec_cycles=exec_cycles,
+        stall_cycles=stall,
+        amat_cycles=amat,
+    )

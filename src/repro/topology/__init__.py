@@ -1,0 +1,24 @@
+"""Cache topology and wire-energy models (Section 2.1 of the paper)."""
+
+from .geometry import BankArrayGeometry, TechnologyNode
+from .nodes import (
+    NODE_22NM,
+    NODE_45NM,
+    htree_energies,
+    l2_geometry_45nm,
+    l3_geometry_45nm,
+    scale_to_22nm,
+    set_interleaved_energies,
+)
+
+__all__ = [
+    "BankArrayGeometry",
+    "TechnologyNode",
+    "NODE_22NM",
+    "NODE_45NM",
+    "htree_energies",
+    "l2_geometry_45nm",
+    "l3_geometry_45nm",
+    "scale_to_22nm",
+    "set_interleaved_energies",
+]

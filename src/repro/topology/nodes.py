@@ -1,0 +1,87 @@
+"""Calibrated technology nodes and cache-level geometries.
+
+The 45 nm instances reproduce the paper's Table 2: an L2 built as a
+2 (wide) x 4 (high) array of 32 KB banks with two ways per bank, and an
+L3 built as a 16 x 4 array of 32 KB banks with four ways per row. The
+22 nm node implements the Section 6 technology study: bank (transistor)
+energy scales roughly with feature size squared while wire energy per mm
+barely scales, so the wire-dominated fraction — and therefore SLIP's
+opportunity — grows.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from .geometry import BankArrayGeometry, TechnologyNode
+
+NODE_45NM = TechnologyNode(
+    name="45nm",
+    wire_energy_pj_per_bit_mm=0.16,
+    wire_delay_ns_per_mm=0.3,
+)
+
+NODE_22NM = TechnologyNode(
+    name="22nm",
+    wire_energy_pj_per_bit_mm=0.15,
+    wire_delay_ns_per_mm=0.35,
+)
+
+# Feature-size ratio 22/45 for the technology study.
+_FEATURE_SCALE = 22.0 / 45.0
+BANK_ENERGY_SCALE_22NM = _FEATURE_SCALE ** 2
+PITCH_SCALE_22NM = _FEATURE_SCALE
+
+
+def l2_geometry_45nm() -> BankArrayGeometry:
+    """2x4 array of 32 KB banks, two L2 ways per bank (Section 5)."""
+    return BankArrayGeometry(
+        name="L2",
+        rows=4,
+        cols=2,
+        ways=16,
+        bank_energy_pj=15.0,
+        row_pitch_mm=12.0 / NODE_45NM.wire_energy_pj_per_mm(512),
+        node=NODE_45NM,
+    )
+
+
+def l3_geometry_45nm() -> BankArrayGeometry:
+    """16x4 array of 32 KB banks; each row holds four L3 ways."""
+    return BankArrayGeometry(
+        name="L3",
+        rows=4,
+        cols=16,
+        ways=16,
+        bank_energy_pj=44.0,
+        row_pitch_mm=46.0 / NODE_45NM.wire_energy_pj_per_mm(512),
+        node=NODE_45NM,
+    )
+
+
+def scale_to_22nm(geometry: BankArrayGeometry) -> BankArrayGeometry:
+    """The Section 6 technology-node study scaling rule."""
+    return geometry.scaled(
+        NODE_22NM,
+        bank_energy_scale=BANK_ENERGY_SCALE_22NM,
+        pitch_scale=PITCH_SCALE_22NM,
+    )
+
+
+def set_interleaved_energies(
+    geometry: BankArrayGeometry, num_sublevels: int
+) -> Tuple[float, ...]:
+    """Sublevel energies under set interleaving (Figure 4b).
+
+    With all ways of a set mapped to one bank, every location a line can
+    occupy costs the same, so each "sublevel" has the mean energy and
+    there is no incentive to move data.
+    """
+    return (geometry.uniform_access_energy_pj(),) * num_sublevels
+
+
+def htree_energies(
+    geometry: BankArrayGeometry, num_sublevels: int
+) -> Tuple[float, ...]:
+    """Sublevel energies under an H-tree interconnect (Figure 4c)."""
+    return (geometry.htree_access_energy_pj(),) * num_sublevels

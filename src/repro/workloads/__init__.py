@@ -1,0 +1,39 @@
+"""Synthetic workload generation: regions, benchmark analogs, mixes."""
+
+from .benchmarks import (
+    BENCHMARKS,
+    FIG1_BENCHMARKS,
+    SPEC_ORDER,
+    BenchmarkSpec,
+    make_trace,
+)
+from .generators import (
+    BimodalLoopRegion,
+    HotColdRegion,
+    LoopRegion,
+    RandomRegion,
+    Region,
+    RegionMix,
+    StreamRegion,
+)
+from .mixes import MULTICORE_MIXES, make_mix_traces, mix_name
+from .trace import Trace
+
+__all__ = [
+    "BENCHMARKS",
+    "BenchmarkSpec",
+    "BimodalLoopRegion",
+    "FIG1_BENCHMARKS",
+    "HotColdRegion",
+    "LoopRegion",
+    "MULTICORE_MIXES",
+    "RandomRegion",
+    "Region",
+    "RegionMix",
+    "SPEC_ORDER",
+    "StreamRegion",
+    "Trace",
+    "make_mix_traces",
+    "make_trace",
+    "mix_name",
+]

@@ -1,0 +1,345 @@
+"""Reuse-distance-programmable access-pattern generators.
+
+Each generator produces a stream of line addresses inside its own
+region of the address space, with a characteristic reuse-distance
+signature (Section 2 of the paper motivates exactly these classes):
+
+* ``LoopRegion`` — cyclic scans of a footprint: reuse distance equals
+  the footprint, like soplex's ``rorig`` rotation loops;
+* ``StreamRegion`` — fresh addresses that never repeat: compulsory
+  misses, infinite reuse distance, like lbm/milc streaming kernels;
+* ``RandomRegion`` — uniform random touches over a footprint, like
+  mcf's pointer chasing and soplex's ``rperm[rorig[i]]``;
+* ``HotColdRegion`` — a small hot set absorbing most touches with a
+  cold remainder, like cperm's 66%/24% split in Figure 3;
+* ``BimodalLoopRegion`` — scan passes whose length is drawn from two
+  modes (the ``c``/``r`` parameter behaviour in soplex's forest.cc).
+
+A :class:`RegionMix` interleaves regions by weight into one trace.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+
+class Region(ABC):
+    """One address-space region with a characteristic access pattern."""
+
+    def __init__(self, name: str, weight: float,
+                 write_fraction: float = 0.2) -> None:
+        if weight <= 0:
+            raise ValueError("region weight must be positive")
+        if not 0.0 <= write_fraction <= 1.0:
+            raise ValueError("write fraction must be a probability")
+        self.name = name
+        self.weight = weight
+        self.write_fraction = write_fraction
+
+    @abstractmethod
+    def generate(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        """Produce ``count`` region-relative line offsets."""
+
+    @abstractmethod
+    def span_lines(self) -> int:
+        """Upper bound on offsets this region can emit."""
+
+    def preferred_burst(self) -> int:
+        """Mean contiguous run of accesses this region gets at a time.
+
+        Programs execute one loop nest (phase) at a time rather than
+        interleaving regions per access; loop regions override this so a
+        burst covers whole passes, making loop reuse visible within the
+        burst — as it is within a real program phase.
+        """
+        return 512
+
+
+class LoopRegion(Region):
+    """Cyclic sequential scan over a fixed footprint."""
+
+    def __init__(self, name: str, footprint_lines: int, weight: float,
+                 write_fraction: float = 0.2, stride: int = 1) -> None:
+        super().__init__(name, weight, write_fraction)
+        if footprint_lines < 1 or stride < 1:
+            raise ValueError("footprint and stride must be positive")
+        self.footprint_lines = footprint_lines
+        self.stride = stride
+        self._position = 0
+
+    def generate(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        idx = (self._position + self.stride * np.arange(count, dtype=np.int64))
+        self._position = int(
+            (self._position + self.stride * count) % self.footprint_lines
+        )
+        return idx % self.footprint_lines
+
+    def span_lines(self) -> int:
+        return self.footprint_lines
+
+    def preferred_burst(self) -> int:
+        # Cover several full passes so within-burst reuse equals the
+        # loop footprint and cross-phase churn stays small.
+        return max(512, 4 * self.footprint_lines)
+
+
+class StreamRegion(Region):
+    """Monotone streaming sweeps over an array larger than the LLC.
+
+    The default span is 5 MB of lines — 2.5x the 2 MB L3, so every
+    touch misses everywhere (and bypass cannot trivially convert the
+    sweep into a resident working set), but small enough that the sweep
+    wraps within a realistic trace and pages are revisited, as lbm/milc
+    re-sweep their lattices every timestep.
+    """
+
+    def __init__(self, name: str, weight: float,
+                 write_fraction: float = 0.2,
+                 span: int = 81_920) -> None:
+        super().__init__(name, weight, write_fraction)
+        self.span = span
+        self._position = 0
+
+    def generate(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        idx = self._position + np.arange(count, dtype=np.int64)
+        self._position += count
+        return idx % self.span
+
+    def span_lines(self) -> int:
+        return self.span
+
+    def preferred_burst(self) -> int:
+        # Streaming kernels run long sweeps; the exact value only
+        # affects interleaving granularity, not reuse (there is none).
+        return 2048
+
+
+class RandomRegion(Region):
+    """Random touches over a footprint, clustered in small runs.
+
+    ``cluster_lines`` consecutive lines are touched per random anchor —
+    structs and allocation locality make even pointer-chasing codes
+    touch more than one line per object, which keeps TLB behaviour in a
+    realistic range rather than one page per access.
+    """
+
+    def __init__(self, name: str, footprint_lines: int, weight: float,
+                 write_fraction: float = 0.2, cluster_lines: int = 4) -> None:
+        super().__init__(name, weight, write_fraction)
+        if cluster_lines < 1:
+            raise ValueError("cluster_lines must be positive")
+        self.footprint_lines = footprint_lines
+        self.cluster_lines = cluster_lines
+
+    def generate(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        clusters = -(-count // self.cluster_lines)
+        anchors = rng.integers(0, self.footprint_lines, size=clusters,
+                               dtype=np.int64)
+        offsets = np.arange(self.cluster_lines, dtype=np.int64)
+        expanded = (anchors[:, None] + offsets[None, :]).reshape(-1)
+        return expanded[:count] % self.footprint_lines
+
+    def span_lines(self) -> int:
+        return self.footprint_lines
+
+
+class HotColdRegion(Region):
+    """A hot subset absorbs ``hot_probability`` of the touches.
+
+    Hot clusters are *striped across the footprint* rather than packed
+    into a contiguous prefix: real hot objects are scattered through the
+    heap, so a page typically holds both hot and cold lines. This is
+    what gives pages the mixed short/long reuse-distance distributions
+    that SLIP answers with partial-bypass policies ({[0]} and friends).
+    """
+
+    def __init__(self, name: str, footprint_lines: int, weight: float,
+                 hot_fraction: float = 0.1, hot_probability: float = 0.7,
+                 write_fraction: float = 0.2, cluster_lines: int = 4) -> None:
+        super().__init__(name, weight, write_fraction)
+        if not 0 < hot_fraction < 1 or not 0 < hot_probability < 1:
+            raise ValueError("hot parameters must be in (0, 1)")
+        self.footprint_lines = footprint_lines
+        self.hot_lines = max(1, int(footprint_lines * hot_fraction))
+        self.hot_probability = hot_probability
+        self.cluster_lines = max(1, cluster_lines)
+        # One hot anchor per cluster_lines of hot set, spread evenly.
+        self._n_hot_anchors = max(1, self.hot_lines // self.cluster_lines)
+        self._hot_period = max(1, footprint_lines // self._n_hot_anchors)
+
+    def generate(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        clusters = -(-count // self.cluster_lines)
+        hot = rng.random(clusters) < self.hot_probability
+        hot_anchors = rng.integers(
+            0, self._n_hot_anchors, size=clusters, dtype=np.int64
+        ) * self._hot_period
+        cold_anchors = rng.integers(0, self.footprint_lines,
+                                    size=clusters, dtype=np.int64)
+        anchors = np.where(hot, hot_anchors, cold_anchors)
+        offsets = np.arange(self.cluster_lines, dtype=np.int64)
+        expanded = (anchors[:, None] + offsets[None, :]).reshape(-1)
+        return expanded[:count] % self.footprint_lines
+
+    def span_lines(self) -> int:
+        return self.footprint_lines
+
+    def preferred_burst(self) -> int:
+        # A burst long enough that a hot line is typically re-touched
+        # within it, so its short stack distance is observable.
+        mean_gap = self.hot_lines / self.hot_probability
+        return max(512, int(5 * mean_gap))
+
+
+class BimodalLoopRegion(Region):
+    """Scan passes of bimodal length (soplex's c..r rotation loops).
+
+    ``short_access_share`` is the fraction of *accesses* (not passes)
+    belonging to short scans — Figure 3 reports access fractions, and
+    long passes dominate volume, so the per-pass short probability is
+    derived to hit the requested access share. Short passes create short
+    reuse distances (the stream fits a small chunk); long passes never
+    fit.
+    """
+
+    def __init__(self, name: str, short_lines: int, long_lines: int,
+                 short_access_share: float, weight: float,
+                 write_fraction: float = 0.2,
+                 long_scan_lines: int = 0) -> None:
+        super().__init__(name, weight, write_fraction)
+        if short_lines >= long_lines:
+            raise ValueError("short footprint must be below long")
+        if not 0 < short_access_share < 1:
+            raise ValueError("short_access_share must be in (0, 1)")
+        self.short_lines = short_lines
+        self.long_lines = long_lines
+        self.short_access_share = short_access_share
+        # Long scans only need to overflow the cache, not traverse the
+        # whole region per pass — short per-pass lengths keep the access
+        # share statistically stable over realistic trace budgets.
+        self.long_scan_lines = long_scan_lines or min(long_lines, 8_192)
+        # Convert the access share into a per-pass probability.
+        rate_short = short_access_share / short_lines
+        rate_long = (1.0 - short_access_share) / self.long_scan_lines
+        self._pass_prob_short = rate_short / (rate_short + rate_long)
+        self._pending: List[int] = []
+
+    def _next_pass(self, rng: np.random.Generator) -> np.ndarray:
+        length = (
+            self.short_lines
+            if rng.random() < self._pass_prob_short
+            else self.long_scan_lines
+        )
+        base = int(rng.integers(0, self.long_lines))
+        # Two back-to-back scans of the window, like line 418 followed
+        # immediately by line 421 in forest.cc.
+        window = (base + np.arange(length, dtype=np.int64)) % self.long_lines
+        return np.concatenate([window, window])
+
+    def generate(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        chunks: List[np.ndarray] = []
+        have = 0
+        if self._pending:
+            pend = np.asarray(self._pending, dtype=np.int64)
+            chunks.append(pend[:count])
+            have = min(count, pend.size)
+            self._pending = pend[count:].tolist()
+        while have < count:
+            window = self._next_pass(rng)
+            take = min(window.size, count - have)
+            chunks.append(window[:take])
+            if take < window.size:
+                self._pending = window[take:].tolist()
+            have += take
+        return np.concatenate(chunks)
+
+    def span_lines(self) -> int:
+        return self.long_lines
+
+    def preferred_burst(self) -> int:
+        # Cover a whole short pass (two scans of the window) so the
+        # second scan's reuse is visible within the burst.
+        return max(512, 4 * self.short_lines)
+
+
+@dataclass
+class RegionPlacement:
+    region: Region
+    base_line: int
+
+
+class RegionMix:
+    """Interleave regions by weight into one address trace."""
+
+    #: Gap between consecutive regions so they never share a page.
+    REGION_ALIGN = 1 << 22
+
+    def __init__(self, regions: Sequence[Region]) -> None:
+        if not regions:
+            raise ValueError("need at least one region")
+        self.placements: List[RegionPlacement] = []
+        base = 0
+        for region in regions:
+            self.placements.append(RegionPlacement(region, base))
+            span = max(region.span_lines(), 1)
+            base += ((span // self.REGION_ALIGN) + 1) * self.REGION_ALIGN
+
+    def _burst_schedule(self, count: int,
+                        rng: np.random.Generator) -> np.ndarray:
+        """Phase-like schedule: one region at a time, in bursts.
+
+        Quota-based: each region is cut into bursts of its preferred
+        length until its weight share of the trace is filled, and the
+        bursts are then shuffled. Access shares therefore match the
+        weights *exactly* — with free-running burst draws, one region
+        whose phase is comparable to the whole trace could crowd
+        another out entirely.
+        """
+        weights = np.array(
+            [p.region.weight for p in self.placements], dtype=float
+        )
+        weights /= weights.sum()
+        pieces = []
+        for idx, placement in enumerate(self.placements):
+            quota = int(round(weights[idx] * count))
+            mean = placement.region.preferred_burst()
+            low, high = max(1, int(mean * 0.5)), int(mean * 1.5) + 1
+            while quota > 0:
+                length = min(int(rng.integers(low, high)), quota)
+                pieces.append((idx, length))
+                quota -= length
+        order = rng.permutation(len(pieces))
+        schedule = np.empty(count, dtype=np.int64)
+        filled = 0
+        for piece_idx in order:
+            region, length = pieces[piece_idx]
+            take = min(length, count - filled)
+            schedule[filled:filled + take] = region
+            filled += take
+            if filled >= count:
+                break
+        if filled < count:  # rounding shortfall: pad with last region
+            schedule[filled:] = schedule[filled - 1] if filled else 0
+        return schedule
+
+    def generate(self, count: int, rng: np.random.Generator,
+                 schedule: Optional[np.ndarray] = None) -> "tuple[np.ndarray, np.ndarray]":
+        """Produce (addresses, is_write) arrays of length ``count``."""
+        if schedule is None:
+            schedule = self._burst_schedule(count, rng)
+        addresses = np.empty(count, dtype=np.int64)
+        is_write = np.zeros(count, dtype=bool)
+        for idx, placement in enumerate(self.placements):
+            mask = schedule == idx
+            n = int(mask.sum())
+            if n == 0:
+                continue
+            offsets = placement.region.generate(n, rng)
+            addresses[mask] = offsets + placement.base_line
+            is_write[mask] = (
+                rng.random(n) < placement.region.write_fraction
+            )
+        return addresses, is_write

@@ -1,0 +1,79 @@
+"""Trace containers for the trace-driven simulator.
+
+A trace is a pair of parallel numpy arrays: 64-bit line addresses and a
+write flag per access. Addresses are in units of 64-byte cache lines;
+page numbers are ``address >> 6`` (64 lines per 4 KB page).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Tuple
+
+import numpy as np
+
+
+@dataclass
+class Trace:
+    """An access trace plus the workload facts the timing model needs."""
+
+    name: str
+    addresses: np.ndarray
+    is_write: np.ndarray
+    #: Instructions represented per memory access (for CPI/energy models).
+    instructions_per_access: float = 3.0
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.addresses.shape != self.is_write.shape:
+            raise ValueError("addresses and is_write must align")
+        if self.addresses.ndim != 1:
+            raise ValueError("trace arrays must be one-dimensional")
+
+    def __len__(self) -> int:
+        return int(self.addresses.shape[0])
+
+    def __iter__(self) -> Iterator[Tuple[int, bool]]:
+        for addr, wr in zip(self.addresses.tolist(), self.is_write.tolist()):
+            yield addr, wr
+
+    @property
+    def instruction_count(self) -> float:
+        return len(self) * self.instructions_per_access
+
+    def footprint_lines(self) -> int:
+        """Number of distinct lines touched."""
+        return int(np.unique(self.addresses).size)
+
+    def footprint_pages(self) -> int:
+        return int(np.unique(self.addresses >> 6).size)
+
+    def sliced(self, start: int, stop: int) -> "Trace":
+        return Trace(
+            name=self.name,
+            addresses=self.addresses[start:stop],
+            is_write=self.is_write[start:stop],
+            instructions_per_access=self.instructions_per_access,
+            metadata=dict(self.metadata),
+        )
+
+    def with_offset(self, line_offset: int) -> "Trace":
+        """Shift the whole trace's address space (multicore isolation)."""
+        return Trace(
+            name=self.name,
+            addresses=self.addresses + np.int64(line_offset),
+            is_write=self.is_write,
+            instructions_per_access=self.instructions_per_access,
+            metadata=dict(self.metadata),
+        )
+
+
+def concatenate(name: str, traces: Tuple[Trace, ...],
+                instructions_per_access: float) -> Trace:
+    """Join phase traces back-to-back."""
+    return Trace(
+        name=name,
+        addresses=np.concatenate([t.addresses for t in traces]),
+        is_write=np.concatenate([t.is_write for t in traces]),
+        instructions_per_access=instructions_per_access,
+    )

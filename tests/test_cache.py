@@ -1,0 +1,243 @@
+"""Tests for the CacheLevel substrate."""
+
+import pytest
+
+from repro.mem.cache import NO_CHUNK, CacheLevel
+from repro.mem.replacement import LruReplacement
+
+
+@pytest.fixture
+def level(tiny_system):
+    return CacheLevel(tiny_system.l2, LruReplacement())
+
+
+def fill(level, addr, **kwargs):
+    set_idx = level.set_index(addr)
+    way = level.choose_victim(set_idx, range(level.cfg.ways))
+    victim = level.extract(set_idx, way)
+    level.place_fill(set_idx, way, addr, **kwargs)
+    return set_idx, way, victim
+
+
+class TestProbeAndFill:
+    def test_empty_cache_misses(self, level):
+        _, way = level.probe(42)
+        assert way is None
+
+    def test_fill_then_hit(self, level):
+        set_idx, way, _ = fill(level, 42)
+        found_set, found_way = level.probe(42)
+        assert (found_set, found_way) == (set_idx, way)
+
+    def test_fill_records_insertion_energy(self, level):
+        fill(level, 0)
+        assert level.stats.insertions == 1
+        assert level.stats.energy.insertion_pj > 0
+
+    def test_fill_into_valid_way_raises(self, level):
+        set_idx, way, _ = fill(level, 0)
+        with pytest.raises(RuntimeError):
+            level.place_fill(set_idx, way, 12345)
+
+    def test_same_set_conflict_evicts_lru(self, level):
+        sets = level.cfg.sets
+        ways = level.cfg.ways
+        addrs = [i * sets for i in range(ways + 1)]  # same set
+        victims = []
+        for addr in addrs:
+            _, _, victim = fill(level, addr)
+            if victim is not None:
+                victims.append(victim.tag)
+        assert victims == [addrs[0]]  # oldest goes first
+
+    def test_index_tracks_probe(self, level):
+        for addr in range(100):
+            fill(level, addr)
+        for line in level.resident_lines():
+            set_idx, way = level.probe(line.tag)
+            assert level.sets[set_idx][way].tag == line.tag
+
+
+class TestHitAccounting:
+    def test_hit_energy_matches_sublevel(self, level):
+        set_idx, way, _ = fill(level, 0)
+        before = level.stats.energy.read_pj
+        level.record_hit(set_idx, way, is_write=False)
+        delta = level.stats.energy.read_pj - before
+        assert delta == level.cfg.read_energy_pj(way)
+
+    def test_hit_latency_matches_sublevel(self, level):
+        set_idx, way, _ = fill(level, 0)
+        assert level.record_hit(set_idx, way, False) == (
+            level.cfg.latency_of_way(way)
+        )
+
+    def test_write_hit_sets_dirty(self, level):
+        set_idx, way, _ = fill(level, 0)
+        level.record_hit(set_idx, way, is_write=True)
+        assert level.sets[set_idx][way].dirty
+
+    def test_hits_by_sublevel(self, level):
+        set_idx, way, _ = fill(level, 0)
+        level.record_hit(set_idx, way, False)
+        sublevel = level.cfg.sublevel_of_way(way)
+        assert level.stats.hits_by_sublevel[sublevel] == 1
+
+    def test_metadata_hits_separate(self, level):
+        set_idx, way, _ = fill(level, 0)
+        level.record_hit(set_idx, way, False, is_metadata=True)
+        assert level.stats.metadata_hits == 1
+        assert level.stats.demand_hits == 0
+
+    def test_metadata_energy_charged_when_tracked(self, tiny_system):
+        tracked = CacheLevel(tiny_system.l2, LruReplacement(),
+                             track_metadata_energy=True)
+        set_idx, way, _ = fill(tracked, 0)
+        tracked.record_hit(set_idx, way, False)
+        assert tracked.stats.energy.metadata_pj > 0
+
+    def test_metadata_energy_not_charged_by_default(self, level):
+        set_idx, way, _ = fill(level, 0)
+        level.record_hit(set_idx, way, False)
+        assert level.stats.energy.metadata_pj == 0
+
+
+class TestMovement:
+    def test_place_moved_charges_read_plus_write(self, level):
+        set_idx, way, _ = fill(level, 0)
+        moved = level.extract(set_idx, way)
+        target = (way + 1) % level.cfg.ways
+        expected = (
+            level.cfg.read_energy_pj(way)
+            + level.cfg.write_energy_pj(target)
+        )
+        level.place_moved(set_idx, target, moved, new_chunk_idx=1)
+        assert level.stats.energy.movement_pj == pytest.approx(expected)
+        assert level.stats.movements == 1
+
+    def test_moved_line_keeps_identity(self, level):
+        set_idx, way, _ = fill(level, 0, policy_id=3, page=7)
+        level.record_hit(set_idx, way, True)  # dirty + 1 hit
+        moved = level.extract(set_idx, way)
+        level.place_moved(set_idx, 2, moved, new_chunk_idx=1)
+        line = level.sets[set_idx][2]
+        assert line.tag == 0
+        assert line.dirty
+        assert line.policy_id == 3
+        assert line.page == 7
+        assert line.chunk_idx == 1
+        assert line.hits == 1
+        assert line.demoted
+
+    def test_promoted_line_not_marked_demoted(self, level):
+        set_idx, way, _ = fill(level, 0)
+        moved = level.extract(set_idx, way)
+        level.place_moved(set_idx, 1, moved, new_chunk_idx=0,
+                          demoted=False)
+        assert not level.sets[set_idx][1].demoted
+
+    def test_movement_queue_energy_charged(self, level):
+        set_idx, way, _ = fill(level, 0)
+        moved = level.extract(set_idx, way)
+        level.place_moved(set_idx, 1, moved, new_chunk_idx=1,
+                          movement_queue_pj=0.3)
+        assert level.stats.energy.movement_queue_pj == pytest.approx(0.3)
+
+
+class TestEvictionAndDeparture:
+    def test_extract_invalid_returns_none(self, level):
+        assert level.extract(0, 0) is None
+
+    def test_departure_records_reuse_histogram(self, level):
+        set_idx, way, _ = fill(level, 0)
+        level.record_hit(set_idx, way, False)
+        level.record_hit(set_idx, way, False)
+        evicted = level.extract(set_idx, way)
+        level.record_departure(evicted)
+        assert level.stats.reuse_histogram["2"] == 1
+
+    def test_many_reuses_bucket(self, level):
+        set_idx, way, _ = fill(level, 0)
+        for _ in range(5):
+            level.record_hit(set_idx, way, False)
+        level.record_departure(level.extract(set_idx, way))
+        assert level.stats.reuse_histogram[">2"] == 1
+
+    def test_writeback_out_charges_read(self, level):
+        set_idx, way, _ = fill(level, 0)
+        level.record_writeback_out(way)
+        assert level.stats.energy.writeback_pj == (
+            level.cfg.read_energy_pj(way)
+        )
+        assert level.stats.writebacks_out == 1
+
+    def test_writeback_in_sets_dirty_and_charges_write(self, level):
+        set_idx, way, _ = fill(level, 0)
+        level.record_writeback_in(set_idx, way)
+        assert level.sets[set_idx][way].dirty
+        assert level.stats.energy.writeback_pj > 0
+
+    def test_invalidate_removes_line(self, level):
+        fill(level, 0)
+        evicted = level.invalidate(0)
+        assert evicted is not None
+        _, way = level.probe(0)
+        assert way is None
+
+    def test_invalidate_absent_returns_none(self, level):
+        assert level.invalidate(999) is None
+
+
+class TestTimestamps:
+    def test_wraps_at_4c(self, level):
+        assert level.timestamp_wrap == 4 * level.cfg.lines
+
+    def test_timestamp_granularity(self, level):
+        level.access_counter = 0
+        t0 = level.timestamp_now()
+        granule = level.timestamp_wrap >> level.timestamp_bits
+        level.access_counter = granule
+        assert level.timestamp_now() == (t0 + 1) % (1 << level.timestamp_bits)
+
+    def test_reuse_distance_roundtrip(self, level):
+        level.access_counter = 0
+        ts = level.timestamp_now()
+        granule = level.timestamp_wrap >> level.timestamp_bits
+        level.access_counter = 5 * granule
+        assert level.reuse_distance(ts) == 5 * granule
+
+    def test_reuse_distance_wraparound(self, level):
+        granule = level.timestamp_wrap >> level.timestamp_bits
+        level.access_counter = 2 * granule
+        old_ts = level.timestamp_now()
+        # Advance almost a full wrap; modular difference stays positive.
+        level.access_counter = (
+            level.access_counter + level.timestamp_wrap - granule
+        ) % level.timestamp_wrap
+        distance = level.reuse_distance(old_ts)
+        assert 0 <= distance < level.timestamp_wrap
+
+    def test_tick_advances_and_wraps(self, level):
+        level.access_counter = level.timestamp_wrap - 1
+        assert level.tick() == 0
+
+
+class TestOccupancyHelpers:
+    def test_occupancy_empty(self, level):
+        assert level.occupancy() == 0.0
+
+    def test_occupancy_counts_valid(self, level):
+        for addr in range(10):
+            fill(level, addr)
+        assert level.occupancy() == pytest.approx(10 / level.cfg.lines)
+
+    def test_reset_stats_keeps_contents(self, level):
+        fill(level, 0)
+        level.reset_stats()
+        assert level.stats.insertions == 0
+        _, way = level.probe(0)
+        assert way is not None
+
+    def test_chunk_idx_default(self, level):
+        set_idx, way, _ = fill(level, 0)
+        assert level.sets[set_idx][way].chunk_idx == NO_CHUNK

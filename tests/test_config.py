@@ -1,0 +1,220 @@
+"""Tests for the system configuration (Tables 1 and 2)."""
+
+import dataclasses
+
+import pytest
+
+from repro.sim.config import (
+    CacheLevelConfig,
+    DramConfig,
+    SlipParams,
+    default_l2,
+    default_l3,
+    default_system,
+)
+
+
+class TestTable1Parameters:
+    """The default system must match Table 1 of the paper."""
+
+    def test_l1_size_and_ways(self):
+        cfg = default_system().l1
+        assert cfg.size_bytes == 32 * 1024
+        assert cfg.ways == 8
+        assert cfg.latency_cycles == 4
+
+    def test_l2_size_ways_latency(self):
+        cfg = default_system().l2
+        assert cfg.size_bytes == 256 * 1024
+        assert cfg.ways == 16
+        assert cfg.latency_cycles == 7
+
+    def test_l3_size_ways_latency(self):
+        cfg = default_system().l3
+        assert cfg.size_bytes == 2 * 1024 * 1024
+        assert cfg.ways == 16
+        assert cfg.latency_cycles == 20
+
+    def test_dram_latency(self):
+        assert default_system().dram.latency_cycles == 100
+
+    def test_l2_sublevel_sizes(self):
+        cfg = default_system().l2
+        sizes = [
+            cfg.sublevel_capacity_lines(i) * cfg.line_size
+            for i in range(cfg.num_sublevels)
+        ]
+        assert sizes == [64 * 1024, 64 * 1024, 128 * 1024]
+
+    def test_l3_sublevel_sizes(self):
+        cfg = default_system().l3
+        sizes = [
+            cfg.sublevel_capacity_lines(i) * cfg.line_size
+            for i in range(cfg.num_sublevels)
+        ]
+        assert sizes == [512 * 1024, 512 * 1024, 1024 * 1024]
+
+    def test_l2_sublevel_latencies(self):
+        assert default_system().l2.sublevel_latency == (4, 6, 8)
+
+    def test_l3_sublevel_latencies(self):
+        assert default_system().l3.sublevel_latency == (15, 19, 23)
+
+    def test_slip_metadata_parameters(self):
+        slip = default_system().slip
+        assert slip.num_bins == 4
+        assert slip.bin_bits == 4
+        assert slip.timestamp_bits == 6
+        assert slip.nsamp == 16
+        assert slip.nstab == 256
+
+    def test_core_frequency(self):
+        assert default_system().core.frequency_ghz == 2.4
+
+
+class TestTable2Parameters:
+    """Energy values must match Table 2."""
+
+    def test_l2_energies(self):
+        cfg = default_system().l2
+        assert cfg.access_energy_pj == 39.0
+        assert cfg.sublevel_energy_pj == (21.0, 33.0, 50.0)
+        assert cfg.metadata_energy_pj == 1.0
+
+    def test_l3_energies(self):
+        cfg = default_system().l3
+        assert cfg.access_energy_pj == 136.0
+        assert cfg.sublevel_energy_pj == (67.0, 113.0, 176.0)
+        assert cfg.metadata_energy_pj == 2.5
+
+    def test_dram_energy_per_line(self):
+        dram = default_system().dram
+        assert dram.energy_pj_per_bit == 20.0
+        assert dram.energy_pj_per_line == 20.0 * 64 * 8
+
+    def test_eou_energy(self):
+        assert default_system().slip.eou_energy_pj == 1.27
+
+    def test_movement_queue_energy(self):
+        assert default_system().slip.movement_queue_lookup_pj == 0.3
+
+
+class TestCacheLevelConfig:
+    def test_sets_computed(self):
+        assert default_l2().sets == 256
+        assert default_l3().sets == 2048
+
+    def test_lines_computed(self):
+        assert default_l2().lines == 4096
+        assert default_l3().lines == 32768
+
+    def test_sublevel_of_way_boundaries(self):
+        cfg = default_l2()
+        assert cfg.sublevel_of_way(0) == 0
+        assert cfg.sublevel_of_way(3) == 0
+        assert cfg.sublevel_of_way(4) == 1
+        assert cfg.sublevel_of_way(7) == 1
+        assert cfg.sublevel_of_way(8) == 2
+        assert cfg.sublevel_of_way(15) == 2
+
+    def test_sublevel_of_way_out_of_range(self):
+        with pytest.raises(IndexError):
+            default_l2().sublevel_of_way(16)
+
+    def test_ways_of_sublevel(self):
+        cfg = default_l2()
+        assert list(cfg.ways_of_sublevel(0)) == [0, 1, 2, 3]
+        assert list(cfg.ways_of_sublevel(1)) == [4, 5, 6, 7]
+        assert list(cfg.ways_of_sublevel(2)) == list(range(8, 16))
+
+    def test_cumulative_capacity(self):
+        assert default_l2().cumulative_capacity_lines() == (1024, 2048, 4096)
+        assert default_l3().cumulative_capacity_lines() == (
+            8192, 16384, 32768,
+        )
+
+    def test_read_energy_by_way(self):
+        cfg = default_l2()
+        assert cfg.read_energy_pj(0) == 21.0
+        assert cfg.read_energy_pj(5) == 33.0
+        assert cfg.read_energy_pj(12) == 50.0
+
+    def test_write_energy_equals_read(self):
+        cfg = default_l2()
+        for way in range(cfg.ways):
+            assert cfg.write_energy_pj(way) == cfg.read_energy_pj(way)
+
+    def test_latency_by_way(self):
+        cfg = default_l3()
+        assert cfg.latency_of_way(0) == 15
+        assert cfg.latency_of_way(6) == 19
+        assert cfg.latency_of_way(15) == 23
+
+    def test_average_access_energy_capacity_weighted(self):
+        cfg = default_l2()
+        expected = (4 * 21 + 4 * 33 + 8 * 50) / 16
+        assert cfg.average_access_energy_pj() == pytest.approx(expected)
+
+    def test_average_close_to_baseline(self):
+        # Table 2's 39 pJ baseline is the way-mean of the sublevels.
+        assert default_l2().average_access_energy_pj() == pytest.approx(
+            39.0, rel=0.02
+        )
+        assert default_l3().average_access_energy_pj() == pytest.approx(
+            136.0, rel=0.03
+        )
+
+    def test_uniform_level_has_single_sublevel(self):
+        cfg = default_system().l1
+        assert cfg.num_sublevels == 1
+        assert cfg.sublevel_of_way(7) == 0
+        assert cfg.read_energy_pj(3) == cfg.access_energy_pj
+
+    def test_invalid_sublevel_sum_rejected(self):
+        with pytest.raises(ValueError):
+            CacheLevelConfig(
+                name="bad", size_bytes=4096, ways=4, latency_cycles=1,
+                access_energy_pj=1.0, sublevel_ways=(1, 1),
+                sublevel_energy_pj=(1.0, 2.0), sublevel_latency=(1, 2),
+            )
+
+    def test_mismatched_sublevel_spec_rejected(self):
+        with pytest.raises(ValueError):
+            CacheLevelConfig(
+                name="bad", size_bytes=4096, ways=4, latency_cycles=1,
+                access_energy_pj=1.0, sublevel_ways=(2, 2),
+                sublevel_energy_pj=(1.0,), sublevel_latency=(1, 2),
+            )
+
+    def test_indivisible_size_rejected(self):
+        with pytest.raises(ValueError):
+            CacheLevelConfig(
+                name="bad", size_bytes=1000, ways=4, latency_cycles=1,
+                access_energy_pj=1.0,
+            )
+
+
+class TestSlipParams:
+    def test_bin_max(self):
+        assert SlipParams(bin_bits=4).bin_max == 15
+        assert SlipParams(bin_bits=2).bin_max == 3
+
+    def test_with_slip_override(self):
+        system = default_system().with_slip(bin_bits=6)
+        assert system.slip.bin_bits == 6
+        # Everything else untouched.
+        assert system.slip.nsamp == 16
+        assert system.l2.ways == 16
+
+    def test_lines_per_page(self):
+        assert default_system().lines_per_page == 64
+
+
+class TestDramConfig:
+    def test_energy_scales_with_line_size(self):
+        small = DramConfig(energy_pj_per_bit=1.0, line_size=32)
+        assert small.energy_pj_per_line == 32 * 8
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            default_system().dram.latency_cycles = 1

@@ -1,0 +1,167 @@
+"""Tests for the quantized reuse-distance distribution (Section 4.1)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.distribution import ReuseDistanceDistribution
+
+BOUNDS = (1024, 2048, 4096)
+
+
+class TestBinning:
+    @pytest.fixture
+    def dist(self):
+        return ReuseDistanceDistribution(BOUNDS)
+
+    def test_bin_edges(self, dist):
+        assert dist.bin_of(0) == 0
+        assert dist.bin_of(1023) == 0
+        assert dist.bin_of(1024) == 1
+        assert dist.bin_of(2047) == 1
+        assert dist.bin_of(2048) == 2
+        assert dist.bin_of(4095) == 2
+        assert dist.bin_of(4096) == 3
+        assert dist.bin_of(10 ** 9) == 3
+
+    def test_num_bins_is_boundaries_plus_one(self, dist):
+        assert dist.num_bins == 4
+
+    def test_record_increments(self, dist):
+        dist.record(100)
+        dist.record(3000)
+        assert dist.counts == [1, 0, 1, 0]
+
+    def test_record_miss_lands_in_last_bin(self, dist):
+        dist.record_miss()
+        assert dist.counts == [0, 0, 0, 1]
+
+    def test_storage_is_16_bits(self, dist):
+        # 4 bins x 4 bits: the paper's per-level footprint.
+        assert dist.storage_bits == 16
+
+
+class TestHalving:
+    def test_halve_on_overflow(self):
+        dist = ReuseDistanceDistribution(BOUNDS, counter_bits=4)
+        for _ in range(15):
+            dist.record(0)
+        assert dist.counts[0] == 15
+        dist.record(0)  # would overflow: halve everything, then count
+        assert dist.counts[0] == 8  # 15 >> 1 == 7, then +1
+
+    def test_halving_affects_all_bins(self):
+        dist = ReuseDistanceDistribution(BOUNDS, counter_bits=4)
+        dist.counts = [4, 15, 0, 12]
+        dist.record(1500)  # bin 1 is saturated
+        assert dist.counts == [2, 8, 0, 6]
+
+    def test_paper_halving_example(self):
+        # Section 4.1's worked example: [4, 15, 0, 12] + bin-1 access
+        # becomes [2, 8, 0, 6].
+        dist = ReuseDistanceDistribution(BOUNDS, counter_bits=4)
+        dist.counts = [4, 15, 0, 12]
+        dist.record_bin(1)
+        assert dist.counts == [2, 8, 0, 6]
+
+    def test_counter_never_exceeds_max(self):
+        dist = ReuseDistanceDistribution(BOUNDS, counter_bits=2)
+        for _ in range(100):
+            dist.record(0)
+        assert all(c <= 3 for c in dist.counts)
+
+
+class TestProbabilities:
+    def test_empty_is_uniform(self):
+        dist = ReuseDistanceDistribution(BOUNDS)
+        assert dist.probabilities() == (0.25, 0.25, 0.25, 0.25)
+
+    def test_normalization(self):
+        dist = ReuseDistanceDistribution(BOUNDS)
+        dist.counts = [1, 1, 0, 2]
+        assert dist.probabilities() == (0.25, 0.25, 0.0, 0.5)
+
+    def test_is_warm_threshold(self):
+        dist = ReuseDistanceDistribution(BOUNDS)
+        assert not dist.is_warm()
+        for _ in range(4):
+            dist.record(0)
+        assert dist.is_warm()
+
+
+class TestPacking:
+    def test_roundtrip(self):
+        dist = ReuseDistanceDistribution(BOUNDS)
+        dist.counts = [3, 15, 0, 7]
+        packed = dist.pack()
+        restored = ReuseDistanceDistribution.unpack(packed, BOUNDS)
+        assert restored.counts == dist.counts
+
+    def test_packed_fits_16_bits(self):
+        dist = ReuseDistanceDistribution(BOUNDS)
+        dist.counts = [15, 15, 15, 15]
+        assert dist.pack() < (1 << 16)
+
+    def test_copy_independent(self):
+        dist = ReuseDistanceDistribution(BOUNDS)
+        dist.record(0)
+        clone = dist.copy()
+        clone.record(0)
+        assert dist.counts[0] == 1
+        assert clone.counts[0] == 2
+
+
+class TestValidation:
+    def test_rejects_empty_boundaries(self):
+        with pytest.raises(ValueError):
+            ReuseDistanceDistribution(())
+
+    def test_rejects_decreasing_boundaries(self):
+        with pytest.raises(ValueError):
+            ReuseDistanceDistribution((10, 5))
+
+    def test_rejects_zero_bits(self):
+        with pytest.raises(ValueError):
+            ReuseDistanceDistribution(BOUNDS, counter_bits=0)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=10 ** 7), min_size=1,
+                max_size=300))
+def test_property_total_bounded(distances):
+    """Counters never exceed the 4-bit maximum regardless of input."""
+    dist = ReuseDistanceDistribution(BOUNDS, counter_bits=4)
+    for d in distances:
+        dist.record(d)
+    assert all(0 <= c <= 15 for c in dist.counts)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=10 ** 7), min_size=1,
+                max_size=200))
+def test_property_pack_roundtrip(distances):
+    dist = ReuseDistanceDistribution(BOUNDS, counter_bits=4)
+    for d in distances:
+        dist.record(d)
+    assert ReuseDistanceDistribution.unpack(
+        dist.pack(), BOUNDS
+    ).counts == dist.counts
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=10 ** 7), min_size=0,
+             max_size=100),
+    st.integers(min_value=1, max_value=8),
+)
+def test_property_probabilities_sum_to_one(distances, bits):
+    dist = ReuseDistanceDistribution(BOUNDS, counter_bits=bits)
+    for d in distances:
+        dist.record(d)
+    assert sum(dist.probabilities()) == pytest.approx(1.0)
+
+
+@given(st.integers(min_value=0, max_value=10 ** 9))
+def test_property_bin_respects_boundaries(distance):
+    dist = ReuseDistanceDistribution(BOUNDS)
+    idx = dist.bin_of(distance)
+    if idx < len(BOUNDS):
+        assert distance < BOUNDS[idx]
+    if idx > 0:
+        assert distance >= BOUNDS[idx - 1]

@@ -1,0 +1,97 @@
+"""Tests for the Energy Optimizer Unit (Section 4.4)."""
+
+import pytest
+
+from repro.core.distribution import ReuseDistanceDistribution
+from repro.core.energy_model import LevelEnergyParams, SlipEnergyModel
+from repro.core.eou import EnergyEvaluationUnit, EnergyOptimizerUnit
+from repro.core.policy import SlipSpace
+
+CAPS = (1024, 1024, 2048)
+
+
+def make_eou(include_insertion=True):
+    space = SlipSpace((4, 4, 8), CAPS)
+    model = SlipEnergyModel(space, LevelEnergyParams(
+        CAPS, (21.0, 33.0, 50.0), 133.0,
+        include_insertion_energy=include_insertion,
+    ))
+    return EnergyOptimizerUnit(model)
+
+
+def dist_with(counts):
+    dist = ReuseDistanceDistribution(CAPS[0:1] + (2048, 4096))
+    dist.counts = list(counts)
+    return dist
+
+
+class TestEEU:
+    def test_dot_product(self):
+        eeu = EnergyEvaluationUnit(0, (1, 2, 3, 4))
+        assert eeu.evaluate((1, 1, 1, 1)) == 10
+        assert eeu.evaluate((4, 0, 0, 1)) == 8
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            EnergyEvaluationUnit(0, (1, 2)).evaluate((1, 2, 3))
+
+
+class TestEOU:
+    def test_one_eeu_per_slip(self):
+        eou = make_eou()
+        assert len(eou.eeus) == 8
+
+    def test_cold_distribution_returns_default(self):
+        eou = make_eou()
+        cold = dist_with([0, 0, 0, 0])
+        assert eou.optimize(cold) == eou.space.default_id
+
+    def test_nearly_cold_returns_default(self):
+        eou = make_eou()
+        assert eou.optimize(dist_with([1, 0, 1, 0])) == eou.space.default_id
+
+    def test_miss_heavy_distribution_returns_abp(self):
+        eou = make_eou()
+        best = eou.optimize(dist_with([0, 0, 0, 15]))
+        assert best == eou.space.abp_id
+
+    def test_allow_abp_false_never_bypasses_fully(self):
+        eou = make_eou()
+        best = eou.optimize(dist_with([0, 0, 0, 15]), allow_abp=False)
+        assert best != eou.space.abp_id
+
+    def test_hot_distribution_prefers_small_chunk(self):
+        eou = make_eou()
+        best = eou.optimize(dist_with([15, 0, 0, 0]))
+        slip = eou.space.slip_of(best)
+        assert not slip.is_abp
+        assert slip.chunks[0] == (0,)
+
+    def test_stats_accumulate(self):
+        eou = make_eou()
+        for _ in range(5):
+            eou.optimize(dist_with([15, 0, 0, 0]))
+        assert eou.stats.optimizations == 5
+        assert eou.stats.energy_pj == pytest.approx(5 * 1.27)
+        assert eou.stats.tlb_block_cycles == 5
+
+    def test_fixed_point_matches_float_reference(self):
+        eou = make_eou()
+        patterns = [
+            [15, 0, 0, 0], [0, 15, 0, 0], [0, 0, 15, 0], [0, 0, 0, 15],
+            [10, 2, 1, 2], [5, 5, 5, 5], [8, 0, 0, 7], [1, 1, 1, 12],
+        ]
+        for counts in patterns:
+            dist = dist_with(counts)
+            assert eou.optimize(dist) == eou.optimize_float(dist), counts
+
+    def test_tie_breaks_to_lower_id(self):
+        space = SlipSpace((2, 2), (16, 16))
+        model = SlipEnergyModel(space, LevelEnergyParams(
+            (16, 16), (5.0, 5.0), 5.0, include_insertion_energy=False,
+        ))
+        eou = EnergyOptimizerUnit(model)
+        dist = ReuseDistanceDistribution((16, 32))
+        dist.counts = [8, 8, 0]
+        winners = [eou.optimize(dist) for _ in range(3)]
+        assert len(set(winners)) == 1  # deterministic

@@ -1,0 +1,51 @@
+"""The example scripts must run end-to-end (at reduced scale)."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(monkeypatch, capsys, script: str, *args: str) -> str:
+    monkeypatch.setattr(sys, "argv", [script, *args])
+    runpy.run_path(str(EXAMPLES / script), run_name="__main__")
+    return capsys.readouterr().out
+
+
+def test_quickstart(monkeypatch, capsys):
+    out = run_example(monkeypatch, capsys, "quickstart.py", "20000")
+    assert "slip_abp" in out
+    assert "L2 saved" in out
+
+
+def test_design_your_own_policy(monkeypatch, capsys):
+    out = run_example(monkeypatch, capsys, "design_your_own_policy.py")
+    # The Section 2 walkthrough: rperm should bypass, rorig go nearest.
+    assert "EOU choice" in out
+    assert "{}" in out
+
+
+def test_topology_explorer(monkeypatch, capsys):
+    out = run_example(monkeypatch, capsys, "topology_explorer.py")
+    assert "H-tree" in out
+    assert "22nm" in out
+
+
+def test_multiprogrammed_llc(monkeypatch, capsys):
+    out = run_example(monkeypatch, capsys, "multiprogrammed_llc.py",
+                      "soplex", "mcf", "10000")
+    assert "L3 energy savings" in out
+
+
+def test_multiprogrammed_llc_rejects_unknown(monkeypatch, capsys):
+    with pytest.raises(SystemExit):
+        run_example(monkeypatch, capsys, "multiprogrammed_llc.py",
+                    "nonsense", "mcf", "1000")
+
+
+def test_phase_adaptation(monkeypatch, capsys):
+    out = run_example(monkeypatch, capsys, "phase_adaptation.py", "24000")
+    assert "policy recomputations" in out

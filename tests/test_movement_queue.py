@@ -1,0 +1,57 @@
+"""Tests for the movement queue (Section 4.3)."""
+
+import pytest
+
+from repro.mem.movement_queue import MovementQueue, MovementQueueFullError
+
+
+class TestMovementQueue:
+    def test_enqueue_and_complete(self):
+        queue = MovementQueue(4)
+        queue.enqueue(100, destination_way=3)
+        assert len(queue) == 1
+        assert queue.complete(100) == 3
+        assert len(queue) == 0
+
+    def test_probe_finds_inflight_line(self):
+        queue = MovementQueue(4)
+        queue.enqueue(100, 1)
+        assert queue.probe(100)
+        assert not queue.probe(200)
+
+    def test_invalidation_drops_line(self):
+        queue = MovementQueue(4)
+        queue.enqueue(100, 1)
+        assert queue.invalidate(100)
+        assert not queue.probe(100)
+
+    def test_invalidate_absent_returns_false(self):
+        assert not MovementQueue(4).invalidate(5)
+
+    def test_overflow_raises(self):
+        queue = MovementQueue(2)
+        queue.enqueue(1, 0)
+        queue.enqueue(2, 0)
+        with pytest.raises(MovementQueueFullError):
+            queue.enqueue(3, 0)
+
+    def test_sixteen_entries_default(self):
+        assert MovementQueue().entries == 16
+
+    def test_lookup_energy_charged(self):
+        queue = MovementQueue(4, lookup_pj=0.3)
+        queue.enqueue(1, 0)
+        queue.complete(1)
+        assert queue.stats.energy_pj == pytest.approx(0.3)
+
+    def test_peak_occupancy_tracked(self):
+        queue = MovementQueue(4)
+        queue.enqueue(1, 0)
+        queue.enqueue(2, 0)
+        queue.complete(1)
+        queue.enqueue(3, 0)
+        assert queue.stats.peak_occupancy == 2
+
+    def test_zero_entries_rejected(self):
+        with pytest.raises(ValueError):
+            MovementQueue(0)

@@ -1,0 +1,172 @@
+"""Tests for baseline, NuRAPID and LRU-PEA placement policies."""
+
+import pytest
+
+from repro.mem.cache import CacheLevel
+from repro.mem.replacement import LruReplacement
+from repro.policies.baseline import BaselinePlacement
+from repro.policies.lru_pea import LruPeaPlacement, PeaLruReplacement
+from repro.policies.nurapid import NurapidPlacement
+
+
+def make_level(cfg, replacement=None):
+    return CacheLevel(cfg, replacement or LruReplacement())
+
+
+def attach(policy, level):
+    policy.attach(level)
+    return policy
+
+
+class TestBaselinePlacement:
+    def test_inserts_somewhere(self, tiny_system):
+        level = make_level(tiny_system.l2)
+        policy = attach(BaselinePlacement(), level)
+        outcome = policy.fill(0)
+        assert outcome.inserted
+        _, way = level.probe(0)
+        assert way is not None
+
+    def test_no_movement_ever(self, tiny_system):
+        level = make_level(tiny_system.l2)
+        policy = attach(BaselinePlacement(), level)
+        for addr in range(3 * level.cfg.lines):
+            policy.fill(addr)
+        assert level.stats.movements == 0
+
+    def test_dirty_victim_produces_writeback(self, tiny_system):
+        level = make_level(tiny_system.l2)
+        policy = attach(BaselinePlacement(), level)
+        sets = level.cfg.sets
+        policy.fill(0, dirty=True)
+        outcome = None
+        for i in range(1, level.cfg.ways + 1):
+            outcome = policy.fill(i * sets)
+        assert 0 in outcome.writebacks
+
+    def test_clean_victim_no_writeback(self, tiny_system):
+        level = make_level(tiny_system.l2)
+        policy = attach(BaselinePlacement(), level)
+        sets = level.cfg.sets
+        policy.fill(0, dirty=False)
+        for i in range(1, level.cfg.ways + 1):
+            outcome = policy.fill(i * sets)
+        assert not outcome.writebacks
+
+    def test_counts_default_insertions(self, tiny_system):
+        level = make_level(tiny_system.l2)
+        policy = attach(BaselinePlacement(), level)
+        policy.fill(0)
+        assert level.stats.insertions_by_class["default"] == 1
+
+
+class TestNurapidPlacement:
+    def test_inserts_into_nearest_dgroup(self, tiny_system):
+        level = make_level(tiny_system.l2)
+        policy = attach(NurapidPlacement(), level)
+        policy.fill(0)
+        _, way = level.probe(0)
+        assert level.cfg.sublevel_of_way(way) == 0
+
+    def test_displaced_line_demoted_one_group(self, tiny_system):
+        level = make_level(tiny_system.l2)
+        policy = attach(NurapidPlacement(), level)
+        sets = level.cfg.sets
+        policy.fill(0)
+        # Fill sublevel 0 of set 0 (1 way in the tiny config).
+        policy.fill(sets)
+        _, way = level.probe(0)
+        assert way is not None  # still resident, demoted
+        assert level.cfg.sublevel_of_way(way) == 1
+        assert level.stats.movements >= 1
+
+    def test_cascade_falls_off_level(self, tiny_system):
+        level = make_level(tiny_system.l2)
+        policy = attach(NurapidPlacement(), level)
+        sets = level.cfg.sets
+        # tiny L2 has sublevels (1,1,2): five same-set fills overflow.
+        outcomes = [policy.fill(i * sets, dirty=True) for i in range(5)]
+        assert any(o.writebacks for o in outcomes)
+
+    def test_promotion_on_hit_swaps_to_sublevel0(self, tiny_system):
+        level = make_level(tiny_system.l2)
+        policy = attach(NurapidPlacement(), level)
+        sets = level.cfg.sets
+        policy.fill(0)
+        policy.fill(sets)  # demotes addr 0 to sublevel 1
+        set_idx, way = level.probe(0)
+        assert level.cfg.sublevel_of_way(way) == 1
+        level.record_hit(set_idx, way, False)
+        policy.on_hit(set_idx, way)
+        _, new_way = level.probe(0)
+        assert level.cfg.sublevel_of_way(new_way) == 0
+        # The displaced line swapped into the old slot.
+        _, other_way = level.probe(sets)
+        assert other_way == way
+
+    def test_hit_in_sublevel0_no_movement(self, tiny_system):
+        level = make_level(tiny_system.l2)
+        policy = attach(NurapidPlacement(), level)
+        policy.fill(0)
+        set_idx, way = level.probe(0)
+        moves_before = level.stats.movements
+        policy.on_hit(set_idx, way)
+        assert level.stats.movements == moves_before
+
+    def test_promotion_charges_movement_energy(self, tiny_system):
+        level = make_level(tiny_system.l2)
+        policy = attach(NurapidPlacement(), level)
+        sets = level.cfg.sets
+        policy.fill(0)
+        policy.fill(sets)
+        set_idx, way = level.probe(0)
+        energy_before = level.stats.energy.movement_pj
+        policy.on_hit(set_idx, way)
+        assert level.stats.energy.movement_pj > energy_before
+
+
+class TestLruPeaPlacement:
+    def make(self, tiny_system, seed=0):
+        level = make_level(tiny_system.l2, PeaLruReplacement())
+        return level, attach(LruPeaPlacement(seed=seed), level)
+
+    def test_requires_pea_replacement(self, tiny_system):
+        level = make_level(tiny_system.l2, LruReplacement())
+        with pytest.raises(TypeError):
+            LruPeaPlacement().attach(level)
+
+    def test_random_sublevel_insertion_covers_all(self, tiny_system):
+        level, policy = self.make(tiny_system)
+        sublevels = set()
+        for addr in range(0, 64 * level.cfg.sets, level.cfg.sets):
+            policy.fill(addr)
+            _, way = level.probe(addr)
+            if way is not None:
+                sublevels.add(level.cfg.sublevel_of_way(way))
+        assert sublevels == {0, 1, 2}
+
+    def test_promotion_moves_one_sublevel_nearer(self, tiny_system):
+        level, policy = self.make(tiny_system)
+        sets = level.cfg.sets
+        # Place a set-0 line directly in sublevel 2 and hit it.
+        level.place_fill(0, 3, 10 * sets)  # way 3 is sublevel 2
+        level.record_hit(0, 3, False)
+        policy.on_hit(0, 3)
+        _, way = level.probe(10 * sets)
+        assert level.cfg.sublevel_of_way(way) == 1
+
+    def test_displaced_line_marked_demoted(self, tiny_system):
+        level, policy = self.make(tiny_system)
+        sets = level.cfg.sets
+        level.place_fill(0, 1, 7 * sets)    # sublevel 1
+        level.place_fill(0, 2, 14 * sets)   # sublevel 2
+        policy.on_hit(0, 2)                 # promote into sublevel 1
+        _, displaced_way = level.probe(7 * sets)
+        assert level.sets[0][displaced_way].demoted
+
+    def test_no_promotion_from_sublevel0(self, tiny_system):
+        level, policy = self.make(tiny_system)
+        level.place_fill(0, 0, 7)
+        moves = level.stats.movements
+        policy.on_hit(0, 0)
+        assert level.stats.movements == moves

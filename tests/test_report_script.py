@@ -1,0 +1,55 @@
+"""Tests for the EXPERIMENTS.md generator script."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+SCRIPT = Path(__file__).resolve().parent.parent / "scripts" \
+    / "make_experiments_md.py"
+
+SAMPLE_LOG = """\
+Figure 9: energy savings over the regular hierarchy
+===================================================
+benchmark  slip:L2
+---------  -------
+soplex       +4.7%
+
+Paper averages: ...
+[fig09 took 255.9s]
+
+Ablation: H-tree
+================
+benchmark  L2 increase
+---------  -----------
+soplex          +47.9%
+[ablation-htree took 65.9s]
+
+ALL DONE rc=0
+"""
+
+
+def test_generator_parses_sections(tmp_path):
+    log = tmp_path / "run.log"
+    out = tmp_path / "EXPERIMENTS.md"
+    log.write_text(SAMPLE_LOG)
+    result = subprocess.run(
+        [sys.executable, str(SCRIPT), str(log), str(out)],
+        capture_output=True, text=True,
+    )
+    assert result.returncode == 0, result.stderr
+    text = out.read_text()
+    assert "### `fig09` (255.9s)" in text
+    assert "### `ablation-htree` (65.9s)" in text
+    assert "+4.7%" in text
+    assert "paper vs. measured" in text
+
+
+def test_generator_output_is_markdown(tmp_path):
+    log = tmp_path / "run.log"
+    out = tmp_path / "EXPERIMENTS.md"
+    log.write_text(SAMPLE_LOG)
+    subprocess.run([sys.executable, str(SCRIPT), str(log), str(out)],
+                   check=True, capture_output=True)
+    text = out.read_text()
+    assert text.startswith("# EXPERIMENTS")
+    assert text.count("```") % 2 == 0  # balanced code fences

@@ -1,0 +1,160 @@
+"""Tests for the SLIP runtime: TLB misses, page metadata, EOU hookup."""
+
+import pytest
+
+from repro.core.runtime import BaselineRuntime, SlipRuntime
+from repro.core.sampling import PageState
+from repro.mem.tlb import distribution_line_address, pte_line_address
+
+
+class TestBaselineRuntime:
+    def test_tlb_hit_no_fetches(self, tiny_system):
+        runtime = BaselineRuntime(tiny_system)
+        runtime.on_demand_access(5)
+        assert runtime.on_demand_access(5) == []
+
+    def test_tlb_miss_fetches_pte(self, tiny_system):
+        runtime = BaselineRuntime(tiny_system)
+        fetches = runtime.on_demand_access(5)
+        assert fetches == [pte_line_address(5)]
+
+    def test_not_slip_enabled(self, tiny_system):
+        assert not BaselineRuntime(tiny_system).slip_enabled
+
+    def test_no_extra_stalls(self, tiny_system):
+        assert BaselineRuntime(tiny_system).extra_stall_cycles() == 0
+
+
+class TestSlipRuntimePageLifecycle:
+    def test_new_page_starts_sampling(self, tiny_system):
+        runtime = SlipRuntime(tiny_system)
+        runtime.on_demand_access(3)
+        assert runtime.pages[3].state is PageState.SAMPLING
+
+    def test_sampling_page_fetches_distribution(self, tiny_system):
+        runtime = SlipRuntime(tiny_system)
+        fetches = runtime.on_demand_access(3)
+        assert pte_line_address(3) in fetches
+        assert distribution_line_address(3) in fetches
+
+    def test_default_policy_while_sampling(self, tiny_system):
+        runtime = SlipRuntime(tiny_system)
+        runtime.on_demand_access(3)
+        assert (
+            runtime.policy_for("L2", 3) == runtime.spaces["L2"].default_id
+        )
+
+    def test_unknown_page_gets_default(self, tiny_system):
+        runtime = SlipRuntime(tiny_system)
+        assert (
+            runtime.policy_for("L2", 999)
+            == runtime.spaces["L2"].default_id
+        )
+
+    def test_cold_page_cannot_stabilize(self, tiny_system):
+        runtime = SlipRuntime(tiny_system, seed=0)
+        runtime.sampler.nsamp = 1  # transition would fire every miss
+        for _ in range(10):
+            runtime.on_demand_access(3)
+            runtime.tlb.flush()
+        # No samples collected -> the warm gate keeps it sampling.
+        assert runtime.pages[3].state is PageState.SAMPLING
+
+    def test_warm_page_stabilizes_and_gets_policy(self, tiny_system):
+        runtime = SlipRuntime(tiny_system, seed=0)
+        runtime.sampler.nsamp = 1
+        runtime.on_demand_access(3)
+        for _ in range(8):
+            runtime.record_miss_sample("L2", 3)
+            runtime.record_miss_sample("L3", 3)
+        runtime.tlb.flush()
+        runtime.on_demand_access(3)
+        assert runtime.pages[3].state is PageState.STABLE
+        # Pure-miss profile with ABP allowed -> full bypass at L2.
+        assert runtime.policy_for("L2", 3) == runtime.spaces["L2"].abp_id
+
+    def test_allow_abp_false_blocks_bypass(self, tiny_system):
+        runtime = SlipRuntime(tiny_system, allow_abp=False, seed=0)
+        runtime.sampler.nsamp = 1
+        runtime.on_demand_access(3)
+        for _ in range(8):
+            runtime.record_miss_sample("L2", 3)
+        runtime.tlb.flush()
+        runtime.on_demand_access(3)
+        assert runtime.policy_for("L2", 3) != runtime.spaces["L2"].abp_id
+
+    def test_stable_page_stops_collecting(self, tiny_system):
+        runtime = SlipRuntime(tiny_system, seed=0)
+        runtime.sampler.nsamp = 1
+        runtime.on_demand_access(3)
+        for _ in range(8):
+            runtime.record_miss_sample("L2", 3)
+        runtime.tlb.flush()
+        runtime.on_demand_access(3)
+        counts_before = list(runtime.pages[3].distributions["L2"].counts)
+        runtime.record_miss_sample("L2", 3)
+        runtime.record_reuse("L2", 3, 10)
+        assert runtime.pages[3].distributions["L2"].counts == counts_before
+
+    def test_reuse_recorded_while_sampling(self, tiny_system):
+        runtime = SlipRuntime(tiny_system)
+        runtime.on_demand_access(3)
+        runtime.record_reuse("L2", 3, 5)
+        dist = runtime.pages[3].distributions["L2"]
+        assert dist.counts[0] == 1
+
+    def test_stats_track_fetches(self, tiny_system):
+        runtime = SlipRuntime(tiny_system)
+        for page in range(4):
+            runtime.on_demand_access(page)
+        assert runtime.stats.tlb_miss_fetches == 4
+        assert runtime.stats.distribution_fetches == 4
+
+
+class TestAlwaysSample:
+    def test_always_fetches_distribution(self, tiny_system):
+        runtime = SlipRuntime(tiny_system, always_sample=True)
+        for _ in range(3):
+            fetches = runtime.on_demand_access(3)
+            assert distribution_line_address(3) in fetches
+            runtime.tlb.flush()
+
+    def test_policy_active_immediately_once_warm(self, tiny_system):
+        runtime = SlipRuntime(tiny_system, always_sample=True)
+        runtime.on_demand_access(3)
+        for _ in range(8):
+            runtime.record_miss_sample("L2", 3)
+            runtime.record_miss_sample("L3", 3)
+        runtime.tlb.flush()
+        runtime.on_demand_access(3)
+        assert runtime.policy_for("L2", 3) == runtime.spaces["L2"].abp_id
+
+    def test_collection_continues_when_stable(self, tiny_system):
+        runtime = SlipRuntime(tiny_system, always_sample=True)
+        runtime.on_demand_access(3)
+        runtime.record_miss_sample("L2", 3)
+        before = runtime.pages[3].distributions["L2"].counts[-1]
+        runtime.record_miss_sample("L2", 3)
+        assert runtime.pages[3].distributions["L2"].counts[-1] == before + 1
+
+
+class TestEouIntegration:
+    def test_eou_boundaries_match_level_config(self, tiny_system):
+        runtime = SlipRuntime(tiny_system)
+        runtime.on_demand_access(0)
+        entry = runtime.pages[0]
+        l2 = tiny_system.l2
+        assert entry.distributions["L2"].boundaries == tuple(
+            l2.cumulative_capacity_lines()
+        )
+
+    def test_eou_energy_accumulates(self, tiny_system):
+        runtime = SlipRuntime(tiny_system, seed=0)
+        runtime.sampler.nsamp = 1
+        runtime.on_demand_access(3)
+        for _ in range(8):
+            runtime.record_miss_sample("L2", 3)
+        runtime.tlb.flush()
+        runtime.on_demand_access(3)
+        assert runtime.eou_energy_pj("L2") > 0
+        assert runtime.extra_stall_cycles() > 0

@@ -1,0 +1,64 @@
+"""Tests for time-based sampling (Section 4.2)."""
+
+import pytest
+
+from repro.core.sampling import PageState, TimeBasedSampler
+
+
+class TestTransitions:
+    def test_initial_state_is_sampling(self):
+        assert TimeBasedSampler().initial_state() is PageState.SAMPLING
+
+    def test_expected_sampling_fraction_paper_values(self):
+        sampler = TimeBasedSampler(nsamp=16, nstab=256)
+        assert sampler.expected_sampling_fraction() == pytest.approx(
+            16 / 272
+        )
+
+    def test_sampling_to_stable_rate(self):
+        sampler = TimeBasedSampler(nsamp=16, nstab=256, seed=7)
+        transitions = sum(
+            sampler.transition(PageState.SAMPLING) is PageState.STABLE
+            for _ in range(20000)
+        )
+        assert transitions / 20000 == pytest.approx(1 / 16, rel=0.15)
+
+    def test_stable_to_sampling_rate(self):
+        sampler = TimeBasedSampler(nsamp=16, nstab=256, seed=7)
+        transitions = sum(
+            sampler.transition(PageState.STABLE) is PageState.SAMPLING
+            for _ in range(60000)
+        )
+        assert transitions / 60000 == pytest.approx(1 / 256, rel=0.25)
+
+    def test_deterministic_given_seed(self):
+        a = TimeBasedSampler(seed=3)
+        b = TimeBasedSampler(seed=3)
+        seq_a = [a.transition(PageState.SAMPLING) for _ in range(50)]
+        seq_b = [b.transition(PageState.SAMPLING) for _ in range(50)]
+        assert seq_a == seq_b
+
+    def test_nsamp_one_always_stabilizes(self):
+        sampler = TimeBasedSampler(nsamp=1, nstab=256)
+        for _ in range(20):
+            assert sampler.transition(PageState.SAMPLING) is PageState.STABLE
+
+    def test_invalid_rates_rejected(self):
+        with pytest.raises(ValueError):
+            TimeBasedSampler(nsamp=0)
+        with pytest.raises(ValueError):
+            TimeBasedSampler(nstab=0)
+
+    def test_steady_state_distribution(self):
+        """Empirical steady-state sampling fraction matches theory."""
+        sampler = TimeBasedSampler(nsamp=4, nstab=32, seed=1)
+        state = sampler.initial_state()
+        sampling_count = 0
+        iterations = 40000
+        for _ in range(iterations):
+            state = sampler.transition(state)
+            sampling_count += state is PageState.SAMPLING
+        expected = sampler.expected_sampling_fraction()
+        assert sampling_count / iterations == pytest.approx(
+            expected, rel=0.2
+        )

@@ -1,0 +1,125 @@
+"""Tests for the timing model and the stats containers."""
+
+import pytest
+
+from repro.mem.stats import DramStats, EnergyBreakdown, LevelStats
+from repro.sim.build import build_hierarchy
+from repro.sim.config import CoreConfig
+from repro.sim.timing import TimingResult, execution_time
+
+
+class TestEnergyBreakdown:
+    def test_total_sums_components(self):
+        e = EnergyBreakdown(read_pj=1, insertion_pj=2, movement_pj=3,
+                            writeback_pj=4, metadata_pj=5,
+                            movement_queue_pj=6, eou_pj=7)
+        assert e.total_pj == 28
+
+    def test_figure11_grouping(self):
+        e = EnergyBreakdown(read_pj=10, insertion_pj=1, movement_pj=2,
+                            writeback_pj=3)
+        assert e.access_pj == 10
+        assert e.move_total_pj == 6
+
+    def test_merged_with(self):
+        a = EnergyBreakdown(read_pj=1, movement_pj=2)
+        b = EnergyBreakdown(read_pj=10, eou_pj=5)
+        merged = a.merged_with(b)
+        assert merged.read_pj == 11
+        assert merged.movement_pj == 2
+        assert merged.eou_pj == 5
+        # Originals untouched.
+        assert a.read_pj == 1 and b.read_pj == 10
+
+
+class TestLevelStats:
+    def test_defaults(self):
+        stats = LevelStats("L2", num_sublevels=3)
+        assert stats.hits_by_sublevel == [0, 0, 0]
+        assert stats.accesses == 0
+        assert stats.hit_rate() == 0.0
+
+    def test_hit_rate(self):
+        stats = LevelStats("L2", num_sublevels=3)
+        stats.demand_hits = 3
+        stats.demand_misses = 1
+        assert stats.hit_rate() == 0.75
+
+    def test_reuse_histogram_buckets(self):
+        stats = LevelStats("L2")
+        for hits in (0, 1, 2, 3, 10):
+            stats.record_reuse_count(hits)
+        assert stats.reuse_histogram == {"0": 1, "1": 1, "2": 1, ">2": 2}
+
+    def test_sublevel_fractions_normalized(self):
+        stats = LevelStats("L2", num_sublevels=3)
+        stats.hits_by_sublevel = [1, 1, 2]
+        stats.demand_hits = 4
+        assert stats.sublevel_access_fractions() == [0.25, 0.25, 0.5]
+
+    def test_sublevel_fractions_empty(self):
+        stats = LevelStats("L2", num_sublevels=3)
+        assert stats.sublevel_access_fractions() == [0.0, 0.0, 0.0]
+
+    def test_insertion_class_keys_preseeded(self):
+        stats = LevelStats("L2")
+        assert set(stats.insertions_by_class) == {
+            "abp", "partial_bypass", "default", "other",
+        }
+
+
+class TestDramStats:
+    def test_accesses(self):
+        stats = DramStats(reads=3, writes=2)
+        assert stats.accesses == 5
+
+
+class TestTimingModel:
+    def test_ipc(self):
+        t = TimingResult(instructions=100, exec_cycles=50,
+                         stall_cycles=0, amat_cycles=1)
+        assert t.ipc == 2.0
+
+    def test_speedup_sign(self):
+        fast = TimingResult(100, 50, 0, 1)
+        slow = TimingResult(100, 100, 0, 1)
+        assert fast.speedup_over(slow) == pytest.approx(1.0)   # 2x faster
+        assert slow.speedup_over(fast) == pytest.approx(-0.5)
+
+    def test_speedup_over_self_zero(self):
+        t = TimingResult(100, 50, 0, 1)
+        assert t.speedup_over(t) == 0.0
+
+    def test_execution_time_components(self, tiny_system):
+        hierarchy = build_hierarchy(tiny_system, "baseline")
+        for addr in range(100):
+            hierarchy.access(addr)
+        core = CoreConfig(base_cpi=1.0, stall_exposure=0.5)
+        timing = execution_time(hierarchy, instructions=300, core=core)
+        assert timing.exec_cycles > 300  # base work plus stalls
+        assert timing.stall_cycles > 0
+        assert timing.amat_cycles > tiny_system.l1.latency_cycles
+
+    def test_l1_hits_produce_no_stall(self, tiny_system):
+        hierarchy = build_hierarchy(tiny_system, "baseline")
+        hierarchy.access(0)
+        hierarchy.reset_stats()
+        for _ in range(50):
+            hierarchy.access(0)  # all L1 hits
+        core = CoreConfig(base_cpi=1.0, stall_exposure=0.5)
+        timing = execution_time(hierarchy, instructions=150, core=core)
+        assert timing.stall_cycles == 0
+        assert timing.exec_cycles == pytest.approx(150.0)
+
+    def test_more_memory_stalls_slow_execution(self, tiny_system):
+        fast = build_hierarchy(tiny_system, "baseline")
+        slow = build_hierarchy(tiny_system, "baseline")
+        fast.access(0)
+        for _ in range(20):
+            fast.access(0)              # L1 hits
+        for addr in range(0, 4096, 16):
+            slow.access(addr)           # misses everywhere
+        core = CoreConfig()
+        t_fast = execution_time(fast, 100, core)
+        t_slow = execution_time(slow, 100, core)
+        assert t_slow.exec_cycles > t_fast.exec_cycles

@@ -1,0 +1,85 @@
+"""Tests for the TLB and metadata address mapping."""
+
+import pytest
+
+from repro.mem.tlb import (
+    DIST_TABLE_BASE,
+    PTE_TABLE_BASE,
+    Tlb,
+    distribution_line_address,
+    is_metadata_address,
+    pte_line_address,
+)
+
+
+class TestTlb:
+    def test_first_access_misses(self):
+        assert not Tlb(4).access(1)
+
+    def test_second_access_hits(self):
+        tlb = Tlb(4)
+        tlb.access(1)
+        assert tlb.access(1)
+
+    def test_lru_eviction(self):
+        tlb = Tlb(2)
+        tlb.access(1)
+        tlb.access(2)
+        tlb.access(1)      # 1 becomes MRU
+        tlb.access(3)      # evicts 2
+        assert tlb.contains(1)
+        assert not tlb.contains(2)
+        assert tlb.contains(3)
+
+    def test_capacity_respected(self):
+        tlb = Tlb(4)
+        for page in range(10):
+            tlb.access(page)
+        assert sum(tlb.contains(p) for p in range(10)) == 4
+
+    def test_stats(self):
+        tlb = Tlb(4)
+        tlb.access(1)
+        tlb.access(1)
+        tlb.access(2)
+        assert tlb.stats.hits == 1
+        assert tlb.stats.misses == 2
+        assert tlb.stats.miss_rate() == pytest.approx(2 / 3)
+
+    def test_flush(self):
+        tlb = Tlb(4)
+        tlb.access(1)
+        tlb.flush()
+        assert not tlb.contains(1)
+
+    def test_zero_entries_rejected(self):
+        with pytest.raises(ValueError):
+            Tlb(0)
+
+
+class TestMetadataAddresses:
+    def test_pte_addresses_in_reserved_region(self):
+        assert pte_line_address(0) >= PTE_TABLE_BASE
+        assert is_metadata_address(pte_line_address(12345))
+
+    def test_distribution_addresses_in_reserved_region(self):
+        assert distribution_line_address(0) >= DIST_TABLE_BASE
+
+    def test_eight_ptes_per_line(self):
+        assert pte_line_address(0) == pte_line_address(7)
+        assert pte_line_address(7) != pte_line_address(8)
+
+    def test_sixteen_distributions_per_line(self):
+        assert distribution_line_address(0) == distribution_line_address(15)
+        assert (
+            distribution_line_address(15) != distribution_line_address(16)
+        )
+
+    def test_demand_addresses_not_metadata(self):
+        assert not is_metadata_address(0)
+        assert not is_metadata_address((1 << 40) - 1)
+
+    def test_regions_disjoint(self):
+        # A PTE line for any realistic page never collides with a
+        # distribution line.
+        assert pte_line_address(1 << 30) < DIST_TABLE_BASE

@@ -1,0 +1,151 @@
+"""Tests for the wire-geometry energy model against Table 2."""
+
+import pytest
+
+from repro.topology import (
+    NODE_22NM,
+    NODE_45NM,
+    htree_energies,
+    l2_geometry_45nm,
+    l3_geometry_45nm,
+    scale_to_22nm,
+    set_interleaved_energies,
+)
+from repro.topology.geometry import BankArrayGeometry, TechnologyNode
+
+SUBLEVELS = (4, 4, 8)
+
+
+class TestTechnologyNode:
+    def test_45nm_wire_parameters(self):
+        assert NODE_45NM.wire_energy_pj_per_bit_mm == 0.16
+        assert NODE_45NM.wire_delay_ns_per_mm == 0.3
+
+    def test_wire_energy_per_mm(self):
+        # 512 bits at 0.16 pJ/bit/mm with 50% activity.
+        assert NODE_45NM.wire_energy_pj_per_mm(512) == pytest.approx(40.96)
+
+    def test_activity_factor_scales(self):
+        node = TechnologyNode("x", 0.16, 0.3, activity_factor=1.0)
+        assert node.wire_energy_pj_per_mm(100) == pytest.approx(16.0)
+
+
+class TestL2Geometry:
+    def test_reproduces_table2_sublevels(self):
+        energies = l2_geometry_45nm().sublevel_energies_pj(SUBLEVELS)
+        paper = (21.0, 33.0, 50.0)
+        for ours, theirs in zip(energies, paper):
+            assert ours == pytest.approx(theirs, rel=0.05)
+
+    def test_reproduces_table2_baseline(self):
+        uniform = l2_geometry_45nm().uniform_access_energy_pj()
+        assert uniform == pytest.approx(39.0, rel=0.05)
+
+    def test_monotone_with_distance(self):
+        geom = l2_geometry_45nm()
+        energies = [geom.row_energy_pj(r) for r in range(geom.rows)]
+        assert energies == sorted(energies)
+        assert energies[0] < energies[-1]
+
+    def test_way_to_row_mapping(self):
+        geom = l2_geometry_45nm()
+        assert geom.row_of_way(0) == 0
+        assert geom.row_of_way(3) == 0
+        assert geom.row_of_way(4) == 1
+        assert geom.row_of_way(15) == 3
+
+    def test_way_out_of_range(self):
+        with pytest.raises(IndexError):
+            l2_geometry_45nm().row_of_way(16)
+
+
+class TestL3Geometry:
+    def test_reproduces_table2_sublevels(self):
+        energies = l3_geometry_45nm().sublevel_energies_pj(SUBLEVELS)
+        paper = (67.0, 113.0, 176.0)
+        for ours, theirs in zip(energies, paper):
+            assert ours == pytest.approx(theirs, rel=0.05)
+
+    def test_reproduces_table2_baseline(self):
+        uniform = l3_geometry_45nm().uniform_access_energy_pj()
+        assert uniform == pytest.approx(136.0, rel=0.05)
+
+
+class TestHTree:
+    def test_htree_costs_furthest_row(self):
+        geom = l2_geometry_45nm()
+        assert geom.htree_access_energy_pj() == pytest.approx(
+            geom.row_energy_pj(geom.rows - 1)
+        )
+
+    def test_htree_energy_increase_range(self):
+        # Paper: +37% L2, +32% L3 for total cache energy; the raw access
+        # ratio should land in the same 30-55% band.
+        for geom, label in (
+            (l2_geometry_45nm(), "L2"),
+            (l3_geometry_45nm(), "L3"),
+        ):
+            ratio = (
+                geom.htree_access_energy_pj()
+                / geom.uniform_access_energy_pj()
+            )
+            assert 1.30 < ratio < 1.55, label
+
+    def test_htree_energies_tuple_uniform(self):
+        energies = htree_energies(l2_geometry_45nm(), 3)
+        assert len(energies) == 3
+        assert len(set(energies)) == 1
+
+
+class TestSetInterleaving:
+    def test_uniform_energy_no_movement_incentive(self):
+        energies = set_interleaved_energies(l2_geometry_45nm(), 3)
+        assert len(set(energies)) == 1
+        assert energies[0] == pytest.approx(39.0, rel=0.05)
+
+
+class Test22nmScaling:
+    def test_energies_shrink(self):
+        l2_45 = l2_geometry_45nm()
+        l2_22 = scale_to_22nm(l2_45)
+        assert (
+            l2_22.uniform_access_energy_pj()
+            < l2_45.uniform_access_energy_pj()
+        )
+
+    def test_wire_fraction_grows(self):
+        # The Section 6 insight: at 22nm the wire-dependent spread
+        # between nearest and furthest sublevel is a *larger* fraction
+        # of the mean access energy.
+        for make in (l2_geometry_45nm, l3_geometry_45nm):
+            old = make()
+            new = scale_to_22nm(old)
+            def spread(geom):
+                e = geom.sublevel_energies_pj(SUBLEVELS)
+                return (e[-1] - e[0]) / geom.uniform_access_energy_pj()
+            assert spread(new) > spread(old)
+
+    def test_node_swapped(self):
+        assert scale_to_22nm(l2_geometry_45nm()).node is NODE_22NM
+
+
+class TestGeometryValidation:
+    def test_ways_must_divide_rows(self):
+        with pytest.raises(ValueError):
+            BankArrayGeometry(
+                name="bad", rows=3, cols=2, ways=16,
+                bank_energy_pj=1.0, row_pitch_mm=0.1, node=NODE_45NM,
+            )
+
+    def test_sublevel_ways_must_sum(self):
+        with pytest.raises(ValueError):
+            l2_geometry_45nm().sublevel_energies_pj((4, 4))
+
+    def test_row_latency_increases_with_distance(self):
+        geom = l3_geometry_45nm()
+        lat = [
+            geom.row_latency_cycles(r, frequency_ghz=2.4, base_cycles=10)
+            for r in range(geom.rows)
+        ]
+        assert lat == sorted(lat)
+        assert lat[-1] > lat[0]
