@@ -5,6 +5,11 @@ the one bench where pytest-benchmark's multi-round statistics are
 meaningful.
 """
 
+import os
+
+import pytest
+
+from repro.experiments.parallel import RunRequest, run_jobs
 from repro.sim.build import build_hierarchy
 from repro.sim.config import default_system
 from repro.workloads.benchmarks import make_trace
@@ -30,3 +35,29 @@ def test_throughput_baseline(benchmark):
 def test_throughput_slip_abp(benchmark):
     assert benchmark.pedantic(drive, args=("slip_abp",),
                               rounds=2, iterations=1) == N
+
+
+SWEEP_GRID = [
+    RunRequest(b, p, length=N)
+    for b in ("soplex", "lbm")
+    for p in ("baseline", "slip", "slip_abp")
+]
+
+
+def sweep(jobs: int) -> int:
+    report = run_jobs(SWEEP_GRID, jobs=jobs)
+    return report.total_accesses
+
+
+def test_sweep_throughput_serial(benchmark):
+    assert benchmark.pedantic(sweep, args=(1,),
+                              rounds=2, iterations=1) == N * len(SWEEP_GRID)
+
+
+@pytest.mark.multiproc
+@pytest.mark.skipif((os.cpu_count() or 1) < 2,
+                    reason="needs >=2 cores for a meaningful pool sweep")
+def test_sweep_throughput_parallel(benchmark):
+    jobs = min(4, os.cpu_count() or 1)
+    assert benchmark.pedantic(sweep, args=(jobs,),
+                              rounds=2, iterations=1) == N * len(SWEEP_GRID)

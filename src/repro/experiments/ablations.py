@@ -16,7 +16,7 @@
 from __future__ import annotations
 
 import dataclasses
-from typing import Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from ..sim.config import (
     SystemConfig,
@@ -24,18 +24,41 @@ from ..sim.config import (
     default_l3,
     default_system,
 )
-from ..sim.single_core import run_trace
 from ..topology import (
     l2_geometry_45nm,
     l3_geometry_45nm,
     scale_to_22nm,
 )
-from ..workloads.benchmarks import make_trace
 from .common import ExperimentSettings, Table, arithmetic_mean, pct
+from .parallel import RunRequest, run_jobs
 
 #: Representative subset for parameter sweeps (one pointer-chaser, one
 #: phase-changer, one hot-set workload, one streamer).
 SWEEP_BENCHMARKS: Tuple[str, ...] = ("soplex", "mcf", "sphinx3", "lbm")
+
+
+def _request(settings: ExperimentSettings, benchmark: str, policy: str,
+             **overrides) -> RunRequest:
+    """A sweep cell at this ablation's scale (picklable for workers)."""
+    return RunRequest(
+        benchmark=benchmark,
+        policy=policy,
+        length=settings.length,
+        seed=settings.seed,
+        warmup_fraction=settings.warmup_fraction,
+        **overrides,
+    )
+
+
+def _run_requests(settings: ExperimentSettings,
+                  requests: List[RunRequest]):
+    """Execute an ablation grid, serial or fanned out per settings.jobs.
+
+    Returns (results in request order, SweepReport) — the report's
+    lines are attached to the ablation's Table as its perf section.
+    """
+    report = run_jobs(requests, jobs=settings.jobs)
+    return [job.result for job in report.results], report
 
 
 # ----------------------------------------------------------------------
@@ -54,16 +77,17 @@ def htree_config() -> SystemConfig:
 
 def run_htree(settings: Optional[ExperimentSettings] = None) -> Table:
     settings = settings or ExperimentSettings()
-    normal = default_system()
-    htree = htree_config()
+    configs = (default_system(), htree_config())
+    requests = [
+        _request(settings, benchmark, "baseline", config=config)
+        for benchmark in SWEEP_BENCHMARKS
+        for config in configs
+    ]
+    results, report = _run_requests(settings, requests)
     increases = {"L2": [], "L3": []}
     rows = []
-    for benchmark in SWEEP_BENCHMARKS:
-        trace = make_trace(benchmark, settings.length, settings.seed)
-        base = run_trace(trace, "baseline", config=normal,
-                         warmup_fraction=settings.warmup_fraction)
-        tree = run_trace(trace, "baseline", config=htree,
-                         warmup_fraction=settings.warmup_fraction)
+    for idx, benchmark in enumerate(SWEEP_BENCHMARKS):
+        base, tree = results[2 * idx], results[2 * idx + 1]
         row = [benchmark]
         for level in ("L2", "L3"):
             increase = (
@@ -83,6 +107,7 @@ def run_htree(settings: Optional[ExperimentSettings] = None) -> Table:
         headers=["benchmark", "L2 increase", "L3 increase"],
         rows=rows,
         notes="Paper: H-tree increases L2 energy by 37% and L3 by 32%.",
+        perf=report.lines(),
     )
 
 
@@ -113,16 +138,20 @@ def config_22nm() -> SystemConfig:
 
 def run_22nm(settings: Optional[ExperimentSettings] = None) -> Table:
     settings = settings or ExperimentSettings()
+    nodes = (("45nm", default_system()), ("22nm", config_22nm()))
+    requests = [
+        _request(settings, benchmark, policy, config=config)
+        for _, config in nodes
+        for benchmark in SWEEP_BENCHMARKS
+        for policy in ("baseline", "slip_abp")
+    ]
+    results, report = _run_requests(settings, requests)
+    pairs = iter(zip(results[::2], results[1::2]))
     rows = []
-    for node_name, config in (("45nm", default_system()),
-                              ("22nm", config_22nm())):
+    for node_name, _ in nodes:
         savings = {"L2": [], "L3": []}
-        for benchmark in SWEEP_BENCHMARKS:
-            trace = make_trace(benchmark, settings.length, settings.seed)
-            base = run_trace(trace, "baseline", config=config,
-                             warmup_fraction=settings.warmup_fraction)
-            slip = run_trace(trace, "slip_abp", config=config,
-                             warmup_fraction=settings.warmup_fraction)
+        for _ in SWEEP_BENCHMARKS:
+            base, slip = next(pairs)
             for level in ("L2", "L3"):
                 savings[level].append(slip.energy_savings_over(base, level))
         rows.append([
@@ -138,6 +167,7 @@ def run_22nm(settings: Optional[ExperimentSettings] = None) -> Table:
             "Paper: 35%/22% at 45nm grows to 36%/25% at 22nm as wires "
             "dominate a larger share of access energy."
         ),
+        perf=report.lines(),
     )
 
 
@@ -147,16 +177,21 @@ def run_22nm(settings: Optional[ExperimentSettings] = None) -> Table:
 def run_binwidth(settings: Optional[ExperimentSettings] = None,
                  bit_widths: Sequence[int] = (2, 3, 4, 6, 8)) -> Table:
     settings = settings or ExperimentSettings()
+    configs = [default_system().with_slip(bin_bits=bits)
+               for bits in bit_widths]
+    requests = [
+        _request(settings, benchmark, policy, config=config)
+        for config in configs
+        for benchmark in SWEEP_BENCHMARKS
+        for policy in ("baseline", "slip_abp")
+    ]
+    results, report = _run_requests(settings, requests)
+    pairs = iter(zip(results[::2], results[1::2]))
     rows = []
     for bits in bit_widths:
-        config = default_system().with_slip(bin_bits=bits)
         savings = []
-        for benchmark in SWEEP_BENCHMARKS:
-            trace = make_trace(benchmark, settings.length, settings.seed)
-            base = run_trace(trace, "baseline", config=config,
-                             warmup_fraction=settings.warmup_fraction)
-            slip = run_trace(trace, "slip_abp", config=config,
-                             warmup_fraction=settings.warmup_fraction)
+        for _ in SWEEP_BENCHMARKS:
+            base, slip = next(pairs)
             savings.append(slip.energy_savings_over(base, "L2"))
         rows.append([f"{bits}-bit", pct(arithmetic_mean(savings))])
     return Table(
@@ -167,6 +202,7 @@ def run_binwidth(settings: Optional[ExperimentSettings] = None,
             "Paper: 4-bit bins within 1% of larger widths; sharp drop at "
             "2 bits (hit counts round to zero, over-bypassing)."
         ),
+        perf=report.lines(),
     )
 
 
@@ -183,16 +219,21 @@ def run_rdblock(settings: Optional[ExperimentSettings] = None,
     traffic; this sweep shows the trade-off. 0 = one block per page.
     """
     settings = settings or ExperimentSettings()
+    configs = [default_system().with_slip(rd_block_lines=lines)
+               for lines in block_lines]
+    requests = [
+        _request(settings, benchmark, policy, config=config)
+        for config in configs
+        for benchmark in SWEEP_BENCHMARKS
+        for policy in ("baseline", "slip_abp")
+    ]
+    results, report = _run_requests(settings, requests)
+    pairs = iter(zip(results[::2], results[1::2]))
     rows = []
     for lines in block_lines:
-        config = default_system().with_slip(rd_block_lines=lines)
         savings, dram = [], []
-        for benchmark in SWEEP_BENCHMARKS:
-            trace = make_trace(benchmark, settings.length, settings.seed)
-            base = run_trace(trace, "baseline", config=config,
-                             warmup_fraction=settings.warmup_fraction)
-            slip = run_trace(trace, "slip_abp", config=config,
-                             warmup_fraction=settings.warmup_fraction)
+        for _ in SWEEP_BENCHMARKS:
+            base, slip = next(pairs)
             savings.append(slip.energy_savings_over(base, "L2"))
             dram.append(slip.relative_dram_traffic(base))
         label = "page (4KB)" if lines == 0 else f"{lines * 64} B"
@@ -210,6 +251,7 @@ def run_rdblock(settings: Optional[ExperimentSettings] = None,
             "trade sharper per-block policies against extra metadata "
             "traffic through the SLIP-cache."
         ),
+        perf=report.lines(),
     )
 
 
@@ -227,15 +269,19 @@ def run_replacement(settings: Optional[ExperimentSettings] = None,
     that SLIP+ABP's savings and miss behaviour hold across policies.
     """
     settings = settings or ExperimentSettings()
+    requests = [
+        _request(settings, benchmark, policy, replacement=replacement)
+        for replacement in replacements
+        for benchmark in SWEEP_BENCHMARKS
+        for policy in ("baseline", "slip_abp")
+    ]
+    results, report = _run_requests(settings, requests)
+    pairs = iter(zip(results[::2], results[1::2]))
     rows = []
     for replacement in replacements:
         savings, rel_misses = [], []
-        for benchmark in SWEEP_BENCHMARKS:
-            trace = make_trace(benchmark, settings.length, settings.seed)
-            base = run_trace(trace, "baseline", replacement=replacement,
-                             warmup_fraction=settings.warmup_fraction)
-            slip = run_trace(trace, "slip_abp", replacement=replacement,
-                             warmup_fraction=settings.warmup_fraction)
+        for _ in SWEEP_BENCHMARKS:
+            base, slip = next(pairs)
             savings.append(slip.energy_savings_over(base, "L2"))
             rel_misses.append(slip.relative_misses(base, "L2"))
         rows.append([
@@ -252,6 +298,7 @@ def run_replacement(settings: Optional[ExperimentSettings] = None,
             "DRRIP/SHiP behaviour, so savings should be in the same "
             "band as LRU."
         ),
+        perf=report.lines(),
     )
 
 
@@ -260,16 +307,20 @@ def run_replacement(settings: Optional[ExperimentSettings] = None,
 # ----------------------------------------------------------------------
 def run_sampling(settings: Optional[ExperimentSettings] = None) -> Table:
     settings = settings or ExperimentSettings()
-    rows = []
     benchmarks = ("soplex", "xalancbmk", "mcf")
-    for benchmark in benchmarks:
-        trace = make_trace(benchmark, settings.length, settings.seed)
-        base = run_trace(trace, "baseline",
-                         warmup_fraction=settings.warmup_fraction)
-        sampled = run_trace(trace, "slip_abp",
-                            warmup_fraction=settings.warmup_fraction)
-        always = run_trace(trace, "slip_abp", always_sample=True,
-                           warmup_fraction=settings.warmup_fraction)
+    requests = [
+        request
+        for benchmark in benchmarks
+        for request in (
+            _request(settings, benchmark, "baseline"),
+            _request(settings, benchmark, "slip_abp"),
+            _request(settings, benchmark, "slip_abp", always_sample=True),
+        )
+    ]
+    results, report = _run_requests(settings, requests)
+    rows = []
+    for idx, benchmark in enumerate(benchmarks):
+        base, sampled, always = results[3 * idx:3 * idx + 3]
         # Overhead metric: metadata *accesses* (the paper's "traffic"),
         # relative to baseline demand accesses at the level.
         base_l2 = base.l2.demand_accesses or 1
@@ -298,4 +349,5 @@ def run_sampling(settings: Optional[ExperimentSettings] = None) -> Table:
             "and 6% DRAM traffic (xalancbmk); with Nsamp=16/Nstab=256 "
             "both stay under ~2%/1.5%."
         ),
+        perf=report.lines(),
     )

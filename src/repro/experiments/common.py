@@ -11,7 +11,7 @@ higher-fidelity runs.
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..sim.config import SystemConfig, default_system
@@ -27,12 +27,18 @@ SLIP_POLICIES: Tuple[str, ...] = ("slip", "slip_abp")
 
 @dataclass(frozen=True)
 class ExperimentSettings:
-    """Scale and reproducibility knobs shared by every experiment."""
+    """Scale and reproducibility knobs shared by every experiment.
+
+    ``jobs`` is the worker-process fan-out for sweeps; ``None`` defers
+    to the ``REPRO_EXP_JOBS`` environment variable (default serial).
+    Worker count never changes results — only wall-clock.
+    """
 
     length: int = int(os.environ.get("REPRO_EXP_LENGTH", 300_000))
     seed: int = int(os.environ.get("REPRO_EXP_SEED", 0))
     warmup_fraction: float = 0.3
     benchmarks: Tuple[str, ...] = SPEC_ORDER
+    jobs: Optional[int] = None
 
     def scaled(self, factor: float) -> "ExperimentSettings":
         return ExperimentSettings(
@@ -40,17 +46,29 @@ class ExperimentSettings:
             seed=self.seed,
             warmup_fraction=self.warmup_fraction,
             benchmarks=self.benchmarks,
+            jobs=self.jobs,
         )
 
 
 @dataclass
 class Table:
-    """A printable experiment result: headers, rows, paper reference."""
+    """A printable experiment result: headers, rows, paper reference.
+
+    ``perf`` carries the sweep's per-job wall-clock/throughput lines.
+    They are rendered by :meth:`perf_text` and deliberately excluded
+    from :meth:`formatted`/:meth:`to_markdown`: the table body must be
+    byte-identical across worker counts, while timing never is.
+    """
 
     title: str
     headers: List[str]
     rows: List[List[str]]
     notes: str = ""
+    perf: List[str] = field(default_factory=list)
+
+    def perf_text(self) -> str:
+        """The timing/throughput report, one line per job."""
+        return "\n".join(self.perf)
 
     def to_markdown(self) -> str:
         """Render as a GitHub-flavoured markdown table."""
@@ -93,14 +111,13 @@ class SweepCache:
         self.settings = settings
         self.config = config or default_system()
         self._results: Dict[Tuple[str, str], RunResult] = {}
-        self._traces: Dict[str, object] = {}
 
     def trace(self, benchmark: str):
-        if benchmark not in self._traces:
-            self._traces[benchmark] = make_trace(
-                benchmark, self.settings.length, self.settings.seed
-            )
-        return self._traces[benchmark]
+        # Delegates to the process-wide LRU trace cache, so traces are
+        # shared across SweepCache instances and pool workers alike.
+        return make_trace(
+            benchmark, self.settings.length, self.settings.seed
+        )
 
     def result(self, benchmark: str, policy: str) -> RunResult:
         key = (benchmark, policy)
@@ -117,6 +134,40 @@ class SweepCache:
     def results_for(self, benchmark: str,
                     policies: Sequence[str]) -> Dict[str, RunResult]:
         return {p: self.result(benchmark, p) for p in policies}
+
+    def prefetch(self, cells: Optional[Sequence[Tuple[str, str]]] = None,
+                 jobs: Optional[int] = None):
+        """Fill missing (benchmark, policy) cells via the parallel engine.
+
+        Jobs carry exactly the arguments :meth:`result` would pass
+        serially, so a prefetched cell is indistinguishable from a
+        lazily computed one. Returns the :class:`SweepReport` for the
+        cells actually run, or ``None`` if everything was cached.
+        """
+        from .parallel import RunRequest, run_jobs
+
+        if cells is None:
+            cells = [(b, p) for b in self.settings.benchmarks
+                     for p in ALL_POLICIES]
+        missing = [c for c in dict.fromkeys(cells) if c not in self._results]
+        if not missing:
+            return None
+        requests = [
+            RunRequest(
+                benchmark=benchmark,
+                policy=policy,
+                length=self.settings.length,
+                seed=self.settings.seed,
+                warmup_fraction=self.settings.warmup_fraction,
+                config=self.config,
+            )
+            for benchmark, policy in missing
+        ]
+        report = run_jobs(requests, jobs=jobs if jobs is not None
+                          else self.settings.jobs)
+        for cell, job in zip(missing, report.results):
+            self._results[cell] = job.result
+        return report
 
 
 _shared_caches: Dict[Tuple[int, int, float], SweepCache] = {}

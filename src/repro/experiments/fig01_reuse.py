@@ -17,6 +17,11 @@ PAPER_AVERAGE_NR0 = 0.70  # ">70% of lines receive no hits"
 PAPER_AVERAGE_NR1 = 0.21
 
 
+def required_cells(settings: ExperimentSettings):
+    """Shared-sweep cells this figure reads (for parallel prefetch)."""
+    return [(b, "baseline") for b in FIG1_BENCHMARKS]
+
+
 def run(settings: Optional[ExperimentSettings] = None) -> Table:
     settings = settings or ExperimentSettings()
     cache = shared_cache(settings)

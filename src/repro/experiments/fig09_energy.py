@@ -30,6 +30,12 @@ PAPER_AVERAGES = {
 }
 
 
+def required_cells(settings: ExperimentSettings):
+    """Shared-sweep cells this figure reads (for parallel prefetch)."""
+    return [(b, p) for b in settings.benchmarks
+            for p in ("baseline", "slip", "slip_abp")]
+
+
 def savings_by_benchmark(
     settings: Optional[ExperimentSettings] = None,
     policies=("slip", "slip_abp"),

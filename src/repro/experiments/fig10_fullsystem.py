@@ -22,6 +22,12 @@ from .common import (
 PAPER_AVERAGES = {"slip": 0.0073, "slip_abp": 0.0168}
 
 
+def required_cells(settings: ExperimentSettings):
+    """Shared-sweep cells this figure reads (for parallel prefetch)."""
+    return [(b, p) for b in settings.benchmarks
+            for p in ("baseline", "slip", "slip_abp")]
+
+
 def run(settings: Optional[ExperimentSettings] = None) -> Table:
     settings = settings or ExperimentSettings()
     cache = shared_cache(settings)

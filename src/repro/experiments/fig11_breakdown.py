@@ -28,6 +28,11 @@ def breakdown(stats: LevelStats) -> Tuple[float, float]:
     return access, movement
 
 
+def required_cells(settings: ExperimentSettings):
+    """Shared-sweep cells this figure reads (for parallel prefetch)."""
+    return [(b, p) for b in settings.benchmarks for p in ALL_POLICIES]
+
+
 def normalized_breakdowns(
     settings: Optional[ExperimentSettings] = None,
     level: str = "L2",

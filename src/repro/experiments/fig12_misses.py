@@ -28,6 +28,12 @@ PAPER_AVERAGES = {
 }
 
 
+def required_cells(settings: ExperimentSettings):
+    """Shared-sweep cells this figure reads (for parallel prefetch)."""
+    return [(b, p) for b in settings.benchmarks
+            for p in ("baseline", "slip", "slip_abp")]
+
+
 def run(settings: Optional[ExperimentSettings] = None,
         level: str = "L2") -> Table:
     settings = settings or ExperimentSettings()

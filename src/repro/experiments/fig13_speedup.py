@@ -30,6 +30,12 @@ PAPER_AVERAGES = {
 POLICIES = ("nurapid", "lru_pea", "slip", "slip_abp")
 
 
+def required_cells(settings: ExperimentSettings):
+    """Shared-sweep cells this figure reads (for parallel prefetch)."""
+    return [(b, p) for b in settings.benchmarks
+            for p in ("baseline",) + POLICIES]
+
+
 def run(settings: Optional[ExperimentSettings] = None) -> Table:
     settings = settings or ExperimentSettings()
     cache = shared_cache(settings)

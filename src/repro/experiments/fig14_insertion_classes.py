@@ -18,6 +18,11 @@ PAPER = {"L2_bypass": 0.27, "L3_bypass": 0.14}
 CLASSES = ("abp", "partial_bypass", "default", "other")
 
 
+def required_cells(settings: ExperimentSettings):
+    """Shared-sweep cells this figure reads (for parallel prefetch)."""
+    return [(b, "slip_abp") for b in settings.benchmarks]
+
+
 def class_fractions(settings: Optional[ExperimentSettings] = None,
                     policy: str = "slip_abp",
                     level: str = "L2") -> Dict[str, Dict[str, float]]:

@@ -14,6 +14,11 @@ from typing import Dict, List, Optional
 from .common import ALL_POLICIES, ExperimentSettings, Table, shared_cache
 
 
+def required_cells(settings: ExperimentSettings):
+    """Shared-sweep cells this figure reads (for parallel prefetch)."""
+    return [(b, p) for b in settings.benchmarks for p in ALL_POLICIES]
+
+
 def average_fractions(settings: Optional[ExperimentSettings] = None,
                       level: str = "L2") -> Dict[str, List[float]]:
     """{policy: [frac_sublevel0, frac1, frac2]} averaged over benchmarks."""

@@ -12,9 +12,10 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Tuple
 
-from ..sim.multi_core import MulticoreResult, run_mix
+from ..sim.multi_core import MulticoreResult
 from ..workloads.mixes import MULTICORE_MIXES, mix_name
 from .common import ExperimentSettings, Table, arithmetic_mean, pct
+from .parallel import MixRequest, SweepReport, run_jobs
 
 PAPER = {"L3": 0.47, "DRAM": 0.055}
 
@@ -23,26 +24,38 @@ def mix_results(
     settings: Optional[ExperimentSettings] = None,
     policies: Tuple[str, ...] = ("baseline", "slip_abp"),
     length_scale: float = 1.0,
-) -> Dict[Tuple[str, str], Dict[str, MulticoreResult]]:
+) -> Tuple[Dict[Tuple[str, str], Dict[str, MulticoreResult]], SweepReport]:
     """Per-core trace length defaults to the full settings length: the
-    shared L3 needs as much page-learning time as the single-core runs."""
+    shared L3 needs as much page-learning time as the single-core runs.
+
+    Every (mix, policy) cell is an independent job, fanned out across
+    ``settings.jobs`` workers; returns the results plus the sweep's
+    timing report.
+    """
     settings = settings or ExperimentSettings()
     per_core = max(20_000, int(settings.length * length_scale))
-    out = {}
+    requests = [
+        MixRequest(
+            mix=mix,
+            policy=policy,
+            length_per_core=per_core,
+            seed=settings.seed,
+            warmup_fraction=settings.warmup_fraction,
+        )
+        for mix in MULTICORE_MIXES
+        for policy in policies
+    ]
+    report = run_jobs(requests, jobs=settings.jobs)
+    jobs = iter(report.results)
+    out: Dict[Tuple[str, str], Dict[str, MulticoreResult]] = {}
     for mix in MULTICORE_MIXES:
-        out[mix] = {
-            policy: run_mix(
-                mix, policy, length_per_core=per_core, seed=settings.seed,
-                warmup_fraction=settings.warmup_fraction,
-            )
-            for policy in policies
-        }
-    return out
+        out[mix] = {policy: next(jobs).result for policy in policies}
+    return out, report
 
 
 def run(settings: Optional[ExperimentSettings] = None) -> Table:
     settings = settings or ExperimentSettings()
-    results = mix_results(settings)
+    results, report = mix_results(settings)
     rows = []
     l3_savings, combined, dram = [], [], []
     for mix, by_policy in results.items():
@@ -69,4 +82,5 @@ def run(settings: Optional[ExperimentSettings] = None) -> Table:
             "Paper: 47% average L3 energy savings, 5.5% DRAM traffic "
             "reduction; worst-case DRAM degradation 2% (leslie3D+soplex)."
         ),
+        perf=report.lines(),
     )

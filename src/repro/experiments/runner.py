@@ -5,10 +5,19 @@ Usage::
     slip-experiments --list
     slip-experiments fig09 fig14
     slip-experiments --all
+    slip-experiments --all --jobs 8                  # parallel fan-out
     REPRO_EXP_LENGTH=500000 slip-experiments --all   # higher fidelity
+    REPRO_EXP_JOBS=8 slip-experiments --all          # same as --jobs 8
 
 Each experiment prints a formatted table with the paper's reference
 numbers in the notes, so paper-vs-measured comparison is immediate.
+
+With ``--jobs N`` (or ``REPRO_EXP_JOBS``) the harness fans out across
+worker processes: the shared single-core sweep is prefetched in
+parallel across its (benchmark, policy) cells before the figure
+modules format their slices, and sweep-owning experiments (ablations,
+fig16) fan their own grids out the same way. Worker count only changes
+wall-clock — tables are byte-identical for any ``--jobs``.
 """
 
 from __future__ import annotations
@@ -16,9 +25,10 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
-from .common import ExperimentSettings, Table
+from .common import ExperimentSettings, Table, shared_cache
+from .parallel import resolve_jobs
 from . import (
     ablations,
     fig01_reuse,
@@ -58,6 +68,59 @@ EXPERIMENTS: Dict[str, Runner] = {
     "ablation-sampling": ablations.run_sampling,
 }
 
+#: Experiments that read the shared single-core sweep, mapped to the
+#: (benchmark, policy) cells they need. The runner unions these over
+#: the selected experiments and prefetches them in parallel.
+SWEEP_CELLS: Dict[str, Callable[[ExperimentSettings], list]] = {
+    "fig01": fig01_reuse.required_cells,
+    "fig09": fig09_energy.required_cells,
+    "fig10": fig10_fullsystem.required_cells,
+    "fig11-l2": fig11_breakdown.required_cells,
+    "fig11-l3": fig11_breakdown.required_cells,
+    "fig12-l2": fig12_misses.required_cells,
+    "fig12-l3": fig12_misses.required_cells,
+    "fig13": fig13_speedup.required_cells,
+    "fig14-l2": fig14_insertion_classes.required_cells,
+    "fig14-l3": fig14_insertion_classes.required_cells,
+    "fig15-l2": fig15_sublevel_fractions.required_cells,
+    "fig15-l3": fig15_sublevel_fractions.required_cells,
+}
+
+
+def settings_from_args(args: argparse.Namespace) -> ExperimentSettings:
+    """Build settings from CLI flags, honouring explicit zeros.
+
+    ``is not None`` checks matter: ``--length 0`` and ``--seed 0`` are
+    legitimate explicit values and must not fall through to defaults.
+    """
+    kwargs = {}
+    if args.length is not None:
+        kwargs["length"] = args.length
+    if args.seed is not None:
+        kwargs["seed"] = args.seed
+    if args.jobs is not None:
+        kwargs["jobs"] = args.jobs
+    return ExperimentSettings(**kwargs)
+
+
+def prefetch_shared_sweep(names: List[str],
+                          settings: ExperimentSettings):
+    """Warm the shared sweep for the selected experiments in parallel.
+
+    Returns the engine's SweepReport (None when nothing was missing or
+    no selected experiment uses the shared sweep).
+    """
+    cells: List[Tuple[str, str]] = []
+    for name in names:
+        cells_fn = SWEEP_CELLS.get(name)
+        if cells_fn is not None:
+            cells.extend(cells_fn(settings))
+    if not cells:
+        return None
+    # Deduplicate, keep deterministic order for stable job numbering.
+    cells = sorted(set(cells))
+    return shared_cache(settings).prefetch(cells, jobs=settings.jobs)
+
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
@@ -73,6 +136,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--length", type=int, default=None,
                         help="trace length (overrides REPRO_EXP_LENGTH)")
     parser.add_argument("--seed", type=int, default=None)
+    parser.add_argument("--jobs", "-j", type=int, default=None,
+                        help="worker processes for sweeps "
+                             "(default: REPRO_EXP_JOBS or 1)")
     parser.add_argument("--markdown", metavar="PATH", default=None,
                         help="also write the tables as markdown to PATH")
     args = parser.parse_args(argv)
@@ -90,25 +156,42 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.print_help()
         return 1
 
-    settings = ExperimentSettings()
-    if args.length is not None or args.seed is not None:
-        settings = ExperimentSettings(
-            length=args.length or settings.length,
-            seed=args.seed if args.seed is not None else settings.seed,
-        )
+    settings = settings_from_args(args)
+
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment {unknown[0]!r}; use --list",
+              file=sys.stderr)
+        return 2
+
+    try:
+        jobs = resolve_jobs(settings.jobs)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+
+    overall_started = time.time()
+    if jobs > 1:
+        report = prefetch_shared_sweep(names, settings)
+        if report is not None:
+            # Timing lines only (all "["-prefixed): table bodies must
+            # stay byte-identical to a serial run.
+            print("\n".join(report.lines()))
 
     markdown_parts: List[str] = []
     for name in names:
-        runner = EXPERIMENTS.get(name)
-        if runner is None:
-            print(f"unknown experiment {name!r}; use --list", file=sys.stderr)
-            return 2
+        runner = EXPERIMENTS[name]
         started = time.time()
         table = runner(settings)
         print(table.formatted())
+        if table.perf:
+            print(table.perf_text())
         print(f"[{name} took {time.time() - started:.1f}s]\n")
         if args.markdown:
             markdown_parts.append(table.to_markdown())
+    print(f"[{len(names)} experiment(s) took "
+          f"{time.time() - overall_started:.1f}s total, "
+          f"jobs={jobs}]")
     if args.markdown:
         header = (
             "# Experiment results\n\n"

@@ -138,9 +138,19 @@ class CacheLevel:
     # ------------------------------------------------------------------
     # Timestamps for reuse-distance measurement (Section 4.1)
     # ------------------------------------------------------------------
+    def _timestamp_granule(self) -> int:
+        """Accesses per timestamp increment, floored at 1.
+
+        Tiny configs (``timestamp_wrap < 2**timestamp_bits``, i.e. a
+        level with fewer than ``2**timestamp_bits / 4`` lines) would
+        otherwise shift the granule to 0 and divide by zero; a 1-access
+        granule just means the stamp has more resolution than needed.
+        """
+        return max(1, self.timestamp_wrap >> self.timestamp_bits)
+
     def timestamp_now(self) -> int:
         """The ``timestamp_bits`` MSBs of the level access counter."""
-        granule = self.timestamp_wrap >> self.timestamp_bits
+        granule = self._timestamp_granule()
         return (self.access_counter // granule) % (1 << self.timestamp_bits)
 
     def reuse_distance(self, line_ts: int) -> int:
@@ -151,9 +161,8 @@ class CacheLevel:
         distance, which is the accepted imprecision of a 6-bit stamp.
         """
         span = 1 << self.timestamp_bits
-        granule = self.timestamp_wrap >> self.timestamp_bits
         delta = (self.timestamp_now() - line_ts) % span
-        return delta * granule
+        return delta * self._timestamp_granule()
 
     # ------------------------------------------------------------------
     # Access primitives (with energy accounting)
@@ -185,8 +194,6 @@ class CacheLevel:
             self.stats.demand_misses += 1
         if self.track_metadata_energy:
             self.stats.energy.metadata_pj += self.cfg.metadata_energy_pj
-        if isinstance(self.replacement, ShipReplacement):
-            pass  # SHCT training happens on eviction, not on miss
         return self.cfg.latency_cycles
 
     # ------------------------------------------------------------------

@@ -112,6 +112,10 @@ class MemoryHierarchy:
     # ------------------------------------------------------------------
     def _demand_access(self, line_addr: int, is_write: bool,
                        page: int) -> int:
+        # Advance L1's access counter T like L2/L3 do in
+        # _access_below_l1; without this every L1 timestamp and
+        # reuse distance reads as 0.
+        self.l1.tick()
         set_idx, way = self.l1.probe(line_addr)
         if way is not None:
             self.counters.l1_hits += 1

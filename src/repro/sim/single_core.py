@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional
+from typing import Dict, Iterable, Optional, Sequence, Tuple
 
 from ..core.energy_model import LevelEnergyParams
 from ..workloads.benchmarks import make_trace
@@ -84,11 +84,49 @@ def run_policy_sweep(
     length: int = 200_000,
     config: Optional[SystemConfig] = None,
     seed: int = 0,
+    jobs: Optional[int] = None,
 ) -> Dict[str, RunResult]:
-    """Run several policies over the *same* trace for fair comparison."""
+    """Run several policies over the *same* trace for fair comparison.
+
+    ``jobs > 1`` fans the policies out across worker processes; results
+    are identical to the serial run because each worker regenerates the
+    trace deterministically through the shared trace cache.
+    """
     config = config or default_system()
+    policies = list(policies)
+    # Imported lazily: the experiments package imports this module.
+    from ..experiments.parallel import resolve_jobs, run_policy_grid
+
+    if resolve_jobs(jobs) > 1 and len(policies) > 1:
+        results, _ = run_policy_grid(
+            [benchmark], policies, length, seed=seed, config=config,
+            jobs=jobs,
+        )
+        return {policy: results[(benchmark, policy)] for policy in policies}
     trace = make_trace(benchmark, length, seed)
     return {
         policy: run_trace(trace, policy, config=config, seed=seed)
         for policy in policies
     }
+
+
+def run_benchmark_suite(
+    benchmarks: Sequence[str],
+    policies: Sequence[str],
+    length: int = 200_000,
+    config: Optional[SystemConfig] = None,
+    seed: int = 0,
+    jobs: Optional[int] = None,
+) -> Dict[Tuple[str, str], RunResult]:
+    """Run a whole (benchmark x policy) grid, optionally in parallel.
+
+    The workhorse behind figure sweeps: every cell is an independent
+    simulation, so wall-clock scales down with ``jobs`` while the
+    result dict stays byte-identical to a serial run.
+    """
+    from ..experiments.parallel import run_policy_grid
+
+    results, _ = run_policy_grid(
+        benchmarks, policies, length, seed=seed, config=config, jobs=jobs,
+    )
+    return results

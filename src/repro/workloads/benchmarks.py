@@ -19,8 +19,10 @@ miss rates.
 
 from __future__ import annotations
 
+import os
 import zlib
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Callable, Dict, List, Tuple
 
 import numpy as np
@@ -212,12 +214,46 @@ FIG1_BENCHMARKS: Tuple[str, ...] = (
 )
 
 
+#: Max distinct (benchmark, length, seed) traces kept in memory; 0
+#: disables caching. A 300k-access trace is ~3 MB, so the default
+#: bounds the cache at ~100 MB while letting a full sweep (14
+#: benchmarks x 5 policies) generate each trace exactly once per
+#: process — serial callers and pool workers alike.
+TRACE_CACHE_ENV = "REPRO_TRACE_CACHE_SIZE"
+_TRACE_CACHE_SIZE = int(os.environ.get(TRACE_CACHE_ENV, "32"))
+
+
+@lru_cache(maxsize=max(1, _TRACE_CACHE_SIZE))
+def _cached_trace(name: str, length: int, seed: int) -> Trace:
+    trace = BENCHMARKS[name].trace(length, seed)
+    # Shared across callers: freeze the arrays so an accidental in-place
+    # edit cannot corrupt every later run of the same benchmark.
+    trace.addresses.setflags(write=False)
+    trace.is_write.setflags(write=False)
+    return trace
+
+
 def make_trace(name: str, length: int, seed: int = 0) -> Trace:
-    """Trace for a named benchmark analog."""
-    try:
-        spec = BENCHMARKS[name]
-    except KeyError:
+    """Trace for a named benchmark analog (LRU-cached, read-only).
+
+    Repeated calls with the same ``(name, length, seed)`` return the
+    same :class:`Trace` object, so policy sweeps stop regenerating
+    identical traces. Treat the arrays as immutable; derive modified
+    copies via :meth:`Trace.with_offset` or slicing instead.
+    """
+    if name not in BENCHMARKS:
         raise KeyError(
             f"unknown benchmark {name!r}; known: {sorted(BENCHMARKS)}"
-        ) from None
-    return spec.trace(length, seed)
+        )
+    if _TRACE_CACHE_SIZE <= 0:
+        return BENCHMARKS[name].trace(length, seed)
+    return _cached_trace(name, length, seed)
+
+
+def trace_cache_info():
+    """Hit/miss statistics of the shared trace cache."""
+    return _cached_trace.cache_info()
+
+
+def clear_trace_cache() -> None:
+    _cached_trace.cache_clear()

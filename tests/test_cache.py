@@ -192,6 +192,22 @@ class TestTimestamps:
     def test_wraps_at_4c(self, level):
         assert level.timestamp_wrap == 4 * level.cfg.lines
 
+    def test_tiny_config_granule_floors_at_one(self):
+        # Regression: a level with fewer than 2**timestamp_bits / 4
+        # lines shifted its granule to 0 and divided by zero.
+        from repro.sim.config import CacheLevelConfig
+
+        tiny = CacheLevelConfig(
+            name="L1", size_bytes=512, ways=2, latency_cycles=1,
+            access_energy_pj=1.0,
+        )  # 8 lines -> timestamp_wrap 32 < 2**6
+        level = CacheLevel(tiny, LruReplacement(), timestamp_bits=6)
+        assert level.timestamp_wrap < (1 << level.timestamp_bits)
+        for _ in range(5):
+            level.tick()
+        assert level.timestamp_now() == 5
+        assert level.reuse_distance(2) == 3
+
     def test_timestamp_granularity(self, level):
         level.access_counter = 0
         t0 = level.timestamp_now()

@@ -58,6 +58,34 @@ class TestAccessPath:
         assert baseline.access(0) == tiny_system.l1.latency_cycles
 
 
+class TestL1Tick:
+    def test_demand_accesses_advance_l1_counter(self, baseline):
+        # Regression: the hierarchy never ticked L1, freezing its
+        # access counter (and so every L1 timestamp/reuse distance) at 0.
+        for addr in range(5):
+            baseline.access(addr)
+        assert baseline.l1.access_counter == 5
+
+    def test_l1_timestamps_advance(self, baseline):
+        granule = max(1, baseline.l1.timestamp_wrap
+                      >> baseline.l1.timestamp_bits)
+        for addr in range(granule + 1):
+            baseline.access(addr)
+        assert baseline.l1.timestamp_now() > 0
+
+    def test_metadata_accesses_do_not_tick_l1(self, baseline):
+        # Metadata fetches enter the hierarchy below L1.
+        before = baseline.l1.access_counter
+        baseline._access_below_l1(1 << 40, is_metadata=True, page=-1)
+        assert baseline.l1.access_counter == before
+
+    def test_l1_counter_wraps(self, baseline):
+        wrap = baseline.l1.timestamp_wrap
+        for addr in range(wrap + 3):
+            baseline.access(addr)
+        assert baseline.l1.access_counter == 3
+
+
 class TestWritebacks:
     def test_dirty_line_written_back_to_dram_eventually(self, baseline,
                                                         tiny_system):
