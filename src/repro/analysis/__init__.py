@@ -1,0 +1,47 @@
+"""Static analysis and runtime invariant checking ("SimCheck").
+
+Two pillars keep the reproduction's accounting trustworthy:
+
+* :mod:`repro.analysis.lint` / :mod:`repro.analysis.rules` — the
+  ``slip-lint`` AST pass with simulator-specific rules (SLIP001...),
+  runnable as ``slip-lint src/`` or ``python -m repro.analysis.lint``;
+* :mod:`repro.analysis.invariants` — the ``REPRO_CHECK_INVARIANTS=1``
+  runtime mode installing conservation/consistency checkers on every
+  :class:`~repro.mem.hierarchy.MemoryHierarchy`.
+
+See ANALYSIS.md for the rule catalog and invariant reference.
+"""
+
+from .invariants import (
+    HierarchyInvariantChecker,
+    InvariantViolation,
+    LevelChecker,
+    check_period,
+    invariants_enabled,
+    maybe_install,
+)
+from .rules import RULES, Finding, lint_source, module_parts_of
+
+
+def __getattr__(name):
+    # Lazy so `python -m repro.analysis.lint` doesn't import the CLI
+    # module twice (runpy warns when __init__ eagerly imports it).
+    if name == "lint_paths":
+        from .lint import lint_paths
+
+        return lint_paths
+    raise AttributeError(name)
+
+__all__ = [
+    "RULES",
+    "Finding",
+    "HierarchyInvariantChecker",
+    "InvariantViolation",
+    "LevelChecker",
+    "check_period",
+    "invariants_enabled",
+    "lint_paths",
+    "lint_source",
+    "maybe_install",
+    "module_parts_of",
+]

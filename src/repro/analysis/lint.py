@@ -1,0 +1,119 @@
+"""slip-lint command-line driver.
+
+Usage::
+
+    slip-lint src/                      # console entry point
+    python -m repro.analysis.lint src/  # equivalent module form
+    slip-lint --format json src/ tests/
+    slip-lint --select SLIP001,SLIP005 src/repro/mem/cache.py
+    slip-lint --list-rules
+
+Exit codes: 0 clean, 1 findings reported, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import Iterable, List, Optional
+
+from .reporting import render_json, render_rule_catalog, render_text
+from .rules import RULES, Finding, lint_source
+
+#: Directory names never descended into during discovery.
+_SKIP_DIRS = {".git", "__pycache__", ".venv", "venv", "build", "dist",
+              ".mypy_cache", ".ruff_cache", ".pytest_cache"}
+
+
+def discover_files(paths: Iterable[str]) -> List[str]:
+    """Expand files/directories into a sorted list of .py files."""
+    out: List[str] = []
+    for path in paths:
+        if os.path.isfile(path):
+            out.append(path)
+        elif os.path.isdir(path):
+            for root, dirnames, filenames in os.walk(path):
+                dirnames[:] = sorted(
+                    d for d in dirnames if d not in _SKIP_DIRS
+                )
+                for name in sorted(filenames):
+                    if name.endswith(".py"):
+                        out.append(os.path.join(root, name))
+        else:
+            raise FileNotFoundError(path)
+    return sorted(dict.fromkeys(out))
+
+
+def lint_paths(paths: Iterable[str],
+               select: Optional[List[str]] = None
+               ) -> "tuple[List[Finding], int]":
+    """Lint every .py file under ``paths``; (findings, files_scanned)."""
+    files = discover_files(paths)
+    findings: List[Finding] = []
+    for file_path in files:
+        with open(file_path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        findings.extend(lint_source(source, path=file_path, select=select))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    return findings, len(files)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="slip-lint",
+        description=("Simulator-specific static analysis for the SLIP "
+                     "reproduction (determinism and energy-accounting "
+                     "hazards)."),
+    )
+    parser.add_argument("paths", nargs="*",
+                        help="files or directories to lint")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text", help="report format")
+    parser.add_argument("--select", default=None,
+                        help="comma-separated rule codes to run "
+                             "(default: all)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalog and exit")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(render_rule_catalog())
+        return 0
+    if not args.paths:
+        parser.print_usage(sys.stderr)
+        print("slip-lint: error: no paths given", file=sys.stderr)
+        return 2
+
+    select = None
+    if args.select:
+        select = [c.strip().upper() for c in args.select.split(",")
+                  if c.strip()]
+        known = {rule.code for rule in RULES} | {"SLIP999"}
+        unknown = [c for c in select if c not in known]
+        if unknown:
+            print(f"slip-lint: error: unknown rule code(s) "
+                  f"{', '.join(unknown)}", file=sys.stderr)
+            return 2
+
+    try:
+        findings, files_scanned = lint_paths(args.paths, select=select)
+    except FileNotFoundError as exc:
+        print(f"slip-lint: error: no such file or directory: {exc}",
+              file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        print(render_json(findings, files_scanned))
+    else:
+        print(render_text(findings, files_scanned))
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":  # python -m repro.analysis.lint
+    raise SystemExit(main())

@@ -56,7 +56,7 @@ class SlipPlacement(PlacementPolicy):
 
         if self.space.num_chunks(slip_id) == 0:
             # All-Bypass Policy: the line never enters this level.
-            level.record_bypass(slip_class)
+            level.record_bypass(slip_class, dirty=dirty)
             outcome = FillOutcome(inserted=False)
             if dirty:
                 outcome.writebacks.append(line_addr)

@@ -24,6 +24,7 @@ and controlled by ``include_insertion_energy``.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
@@ -53,8 +54,11 @@ class LevelEnergyParams:
 
     def chunk_energy_pj(self, chunk: Sequence[int]) -> float:
         """Capacity-weighted mean access energy of a chunk's sublevels."""
-        capacity = sum(self.sublevel_capacity_lines[s] for s in chunk)
-        weighted = sum(
+        # Integral line counts; exact in any order.
+        capacity = sum(  # slip-lint: disable=SLIP005
+            self.sublevel_capacity_lines[s] for s in chunk
+        )
+        weighted = math.fsum(
             self.sublevel_capacity_lines[s] * self.sublevel_energy_pj[s]
             for s in chunk
         )
@@ -122,7 +126,7 @@ class SlipEnergyModel:
                   probabilities: Sequence[float]) -> float:
         """Expected energy per access of one SLIP for a distribution."""
         alpha = self.alphas[slip_id]
-        return sum(a * p for a, p in zip(alpha, probabilities))
+        return math.fsum(a * p for a, p in zip(alpha, probabilities))
 
     def best_slip(self, probabilities: Sequence[float],
                   allow_abp: bool = True) -> int:

@@ -72,6 +72,11 @@ class EnergyOptimizerUnit:
         ]
         self.stats = EouStats()
 
+    @property
+    def expected_energy_pj(self) -> float:
+        """Ledger cross-check: optimizations times the per-op cost."""
+        return self.stats.optimizations * self.energy_pj_per_op
+
     def optimize(self, distribution: ReuseDistanceDistribution,
                  allow_abp: bool = True,
                  evidence_samples: Optional[int] = None) -> int:

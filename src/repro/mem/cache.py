@@ -328,6 +328,7 @@ class CacheLevel:
         """
         line = self.sets[set_idx][way]
         line.dirty = True
+        self.stats.writebacks_in += 1
         self.stats.energy.writeback_pj += self.cfg.write_energy_pj(way)
 
     def record_writeback_out(self, from_way: int) -> None:
@@ -335,9 +336,12 @@ class CacheLevel:
         self.stats.writebacks_out += 1
         self.stats.energy.writeback_pj += self.cfg.read_energy_pj(from_way)
 
-    def record_bypass(self, slip_class: str = "abp") -> None:
+    def record_bypass(self, slip_class: str = "abp",
+                      dirty: bool = False) -> None:
         self.stats.bypasses += 1
         self.stats.insertions_by_class[slip_class] += 1
+        if dirty:
+            self.stats.dirty_bypass_forwards += 1
 
     # ------------------------------------------------------------------
     # Invalidation (coherence / multi-level consistency)

@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
+from ..analysis.invariants import maybe_install
 from ..policies.base import PlacementPolicy
 from ..policies.baseline import BaselinePlacement
 from ..sim.config import SystemConfig
@@ -88,6 +89,9 @@ class MemoryHierarchy:
         while (1 << shift) < lines:
             shift += 1
         self._page_shift = shift
+        # SimCheck: no-op unless REPRO_CHECK_INVARIANTS is set, in which
+        # case conservation/consistency checkers wrap this hierarchy.
+        self.simcheck = maybe_install(self, l3_shared=shared_l3 is not None)
 
     # ------------------------------------------------------------------
     def page_of(self, line_addr: int) -> int:

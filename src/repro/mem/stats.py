@@ -70,6 +70,11 @@ class LevelStats:
     bypasses: int = 0
     movements: int = 0
     writebacks_out: int = 0
+    writebacks_in: int = 0
+    #: Dirty lines a bypass policy refused to host, forwarded onward
+    #: without a read-out; tracked so SimCheck's writeback-conservation
+    #: invariant balances exactly.
+    dirty_bypass_forwards: int = 0
     insertions_by_class: Dict[str, int] = field(default_factory=dict)
     reuse_histogram: Dict[str, int] = field(
         default_factory=lambda: {"0": 0, "1": 0, "2": 0, ">2": 0}

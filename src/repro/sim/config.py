@@ -8,6 +8,7 @@ cache split into three sublevels of 4 + 4 + 8 ways.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field, replace
 from typing import Optional, Tuple
 
@@ -111,7 +112,7 @@ class CacheLevelConfig:
         """Way-capacity-weighted mean access energy across the level."""
         if not self.sublevel_energy_pj:
             return self.access_energy_pj
-        total = sum(
+        total = math.fsum(
             n * e for n, e in zip(self.sublevel_ways, self.sublevel_energy_pj)
         )
         return total / self.ways

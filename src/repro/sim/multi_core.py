@@ -9,6 +9,7 @@ bypassing SLIPs, and yields the larger L3 savings the paper reports.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
@@ -69,7 +70,7 @@ class MulticoreResult:
     dram_accesses: int = 0
 
     def l2_energy_pj(self) -> float:
-        return sum(s.energy.total_pj for s in self.l2_stats)
+        return math.fsum(s.energy.total_pj for s in self.l2_stats)
 
     def l3_energy_pj(self) -> float:
         return self.l3_stats.energy.total_pj + self.eou_energy_pj
@@ -227,7 +228,7 @@ def run_mix_traces(
 
     eou_pj = 0.0
     if slip:
-        eou_pj = sum(rt.eou_energy_pj("L3") for rt in runtimes)
+        eou_pj = math.fsum(rt.eou_energy_pj("L3") for rt in runtimes)
 
     return MulticoreResult(
         policy=policy,

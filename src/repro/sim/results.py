@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Optional
+import json
+from dataclasses import asdict, dataclass, field, is_dataclass
+from typing import Any, Dict, Optional
 
 from ..mem.hierarchy import HierarchyCounters, MemoryHierarchy
 from ..mem.stats import DramStats, LevelStats
@@ -26,6 +27,38 @@ class RunResult:
     timing: TimingResult
     eou_energy_pj: Dict[str, float] = field(default_factory=dict)
     runtime_stats: Optional[object] = None
+
+    # ------------------------------------------------------------------
+    # Stable serialization (determinism checks, result archiving)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Every measured quantity as plain nested dicts/lists."""
+        out: Dict[str, Any] = {
+            "policy": self.policy,
+            "benchmark": self.benchmark,
+            "config": asdict(self.config),
+            "l1": asdict(self.l1),
+            "l2": asdict(self.l2),
+            "l3": asdict(self.l3),
+            "dram": asdict(self.dram),
+            "counters": asdict(self.counters),
+            "timing": asdict(self.timing),
+            "eou_energy_pj": dict(self.eou_energy_pj),
+            "runtime_stats": (
+                asdict(self.runtime_stats)
+                if is_dataclass(self.runtime_stats) else None
+            ),
+        }
+        return out
+
+    def to_json(self) -> str:
+        """Canonical JSON: sorted keys, no whitespace variance.
+
+        Two runs of the same simulation must produce byte-identical
+        output here — the determinism smoke tests diff this string.
+        """
+        return json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
 
     # ------------------------------------------------------------------
     # Energy roll-ups

@@ -15,6 +15,7 @@ H-tree penalty (Section 2.1) and the 22 nm technology study (Section 6).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, replace
 from typing import Sequence, Tuple
 
@@ -88,21 +89,24 @@ class BankArrayGeometry:
         sublevel covering several rows gets the capacity-weighted mean of
         its rows' energies.
         """
-        if sum(sublevel_ways) != self.ways:
+        # Integral way counts; exact in any order.
+        if sum(sublevel_ways) != self.ways:  # slip-lint: disable=SLIP005
             raise ValueError("sublevel ways must sum to total ways")
         energies = []
         start = 0
         for n_ways in sublevel_ways:
             ways = range(start, start + n_ways)
             energies.append(
-                sum(self.way_energy_pj(w) for w in ways) / n_ways
+                math.fsum(self.way_energy_pj(w) for w in ways) / n_ways
             )
             start += n_ways
         return tuple(energies)
 
     def uniform_access_energy_pj(self) -> float:
         """Mean access energy across all ways (the baseline cache)."""
-        return sum(self.way_energy_pj(w) for w in range(self.ways)) / self.ways
+        return math.fsum(
+            self.way_energy_pj(w) for w in range(self.ways)
+        ) / self.ways
 
     def htree_access_energy_pj(self) -> float:
         """Access energy under an H-tree interconnect (Figure 4c).

@@ -10,6 +10,30 @@ from repro.sim.config import (
     SystemConfig,
 )
 
+# Integration-style modules run with the SimCheck runtime invariant
+# checkers enabled, so every full-length simulation in the suite doubles
+# as a conservation/consistency audit of the hierarchy it builds.
+SIMCHECK_MODULES = ("test_integration.py", "test_multicore.py")
+
+
+@pytest.fixture(autouse=True, scope="module")
+def _simcheck_for_integration(request):
+    """Enable REPRO_CHECK_INVARIANTS for the integration test modules.
+
+    Module-scoped on purpose: test_integration builds its hierarchies in
+    a module-scoped fixture, and a function-scoped env patch would be
+    applied too late to be seen by that setup.
+    """
+    if request.node.name not in SIMCHECK_MODULES:
+        yield
+        return
+    mp = pytest.MonkeyPatch()
+    mp.setenv("REPRO_CHECK_INVARIANTS", "1")
+    try:
+        yield
+    finally:
+        mp.undo()
+
 
 def tiny_l1() -> CacheLevelConfig:
     return CacheLevelConfig(

@@ -1,0 +1,216 @@
+"""SimCheck runtime invariants: a clean simulation passes every check,
+and each invariant fires on deliberately corrupted cache state with a
+violation that names the level/set/way/counter involved."""
+
+import pytest
+
+from repro.analysis import InvariantViolation, check_period, \
+    invariants_enabled
+from repro.mem.cache import NO_CHUNK
+from repro.sim.build import build_hierarchy
+
+
+@pytest.fixture
+def checked_hierarchy(tiny_system, monkeypatch):
+    """A slip_abp hierarchy with SimCheck installed, lightly warmed."""
+    monkeypatch.setenv("REPRO_CHECK_INVARIANTS", "64")
+    hierarchy = build_hierarchy(tiny_system, "slip_abp")
+    assert hierarchy.simcheck is not None
+    for step in range(2000):
+        hierarchy.access((step * 17) % 1200, step % 5 == 0)
+    return hierarchy
+
+
+def first_valid(level, want_chunk=False):
+    for set_idx, line_set in enumerate(level.sets):
+        for way, line in enumerate(line_set):
+            if line.valid and (not want_chunk
+                               or line.chunk_idx != NO_CHUNK):
+                return set_idx, way, line
+    raise AssertionError("no valid line found")
+
+
+# ----------------------------------------------------------------------
+# Enablement plumbing
+# ----------------------------------------------------------------------
+def test_disabled_by_default(tiny_system, monkeypatch):
+    monkeypatch.delenv("REPRO_CHECK_INVARIANTS", raising=False)
+    assert not invariants_enabled()
+    hierarchy = build_hierarchy(tiny_system, "baseline")
+    assert hierarchy.simcheck is None
+
+
+def test_env_value_sets_period(monkeypatch):
+    monkeypatch.setenv("REPRO_CHECK_INVARIANTS", "1")
+    assert invariants_enabled() and check_period() == 256
+    monkeypatch.setenv("REPRO_CHECK_INVARIANTS", "512")
+    assert check_period() == 512
+    monkeypatch.setenv("REPRO_CHECK_INVARIANTS", "0")
+    assert not invariants_enabled()
+
+
+def test_clean_run_passes_and_checks_fire(checked_hierarchy):
+    simcheck = checked_hierarchy.simcheck
+    assert simcheck.checks_run >= 2000 // 64
+    simcheck.check()  # explicit full check on top of the periodic ones
+
+
+def test_clean_run_survives_warmup_reset(checked_hierarchy):
+    checked_hierarchy.reset_stats()
+    for step in range(500):
+        checked_hierarchy.access((step * 13) % 900, step % 7 == 0)
+    checked_hierarchy.simcheck.check()
+
+
+def test_finalize_runs_final_check_and_tolerates_histogram_fold(
+        checked_hierarchy):
+    checked_hierarchy.finalize()
+    # Post-finalize the reuse histogram legitimately includes resident
+    # lines; the checker must not flag that as drift.
+    checked_hierarchy.simcheck.check()
+
+
+# ----------------------------------------------------------------------
+# Structural corruption
+# ----------------------------------------------------------------------
+def test_duplicate_tag_raises(checked_hierarchy):
+    level = checked_hierarchy.l2
+    for set_idx, line_set in enumerate(level.sets):
+        ways = [w for w, ln in enumerate(line_set) if ln.valid]
+        if len(ways) >= 2:
+            line_set[ways[1]].tag = line_set[ways[0]].tag
+            break
+    else:
+        raise AssertionError("no set with two valid lines")
+    with pytest.raises(InvariantViolation) as exc:
+        checked_hierarchy.simcheck.check()
+    assert exc.value.invariant == "tag-uniqueness"
+    assert exc.value.level == "L2"
+    assert exc.value.set_idx == set_idx
+
+
+def test_stale_probe_index_raises(checked_hierarchy):
+    level = checked_hierarchy.l3
+    set_idx, way, line = first_valid(level)
+    level._index[set_idx][line.tag] = (way + 1) % level.cfg.ways
+    with pytest.raises(InvariantViolation) as exc:
+        checked_hierarchy.simcheck.check()
+    assert exc.value.invariant in ("index-consistency", "tag-uniqueness")
+    assert exc.value.level == "L3"
+
+
+def test_chunk_index_out_of_range_raises(checked_hierarchy):
+    level = checked_hierarchy.l2
+    set_idx, way, line = first_valid(level, want_chunk=True)
+    line.chunk_idx = 99
+    with pytest.raises(InvariantViolation) as exc:
+        checked_hierarchy.simcheck.check()
+    assert exc.value.invariant == "chunk-occupancy"
+    assert (exc.value.set_idx, exc.value.way) == (set_idx, way)
+
+
+def test_line_outside_its_chunk_ways_raises(checked_hierarchy):
+    level = checked_hierarchy.l2
+    space = checked_hierarchy.l2_placement.space
+    # Find a line whose claimed chunk does not span every way, then
+    # claim a policy/chunk pair whose ways exclude its actual way.
+    for set_idx, line_set in enumerate(level.sets):
+        for way, line in enumerate(line_set):
+            if not line.valid or line.chunk_idx == NO_CHUNK:
+                continue
+            for slip_id in range(len(space)):
+                if space.num_chunks(slip_id) == 0:
+                    continue
+                if way not in space.chunk_ways(slip_id, 0):
+                    line.policy_id, line.chunk_idx = slip_id, 0
+                    with pytest.raises(InvariantViolation) as exc:
+                        checked_hierarchy.simcheck.check()
+                    assert exc.value.invariant == "chunk-occupancy"
+                    return
+    raise AssertionError("no suitable line/SLIP pair found")
+
+
+# ----------------------------------------------------------------------
+# Ledger corruption
+# ----------------------------------------------------------------------
+def test_tampered_hit_counter_raises(checked_hierarchy):
+    checked_hierarchy.l2.stats.demand_hits += 1
+    with pytest.raises(InvariantViolation) as exc:
+        checked_hierarchy.simcheck.check()
+    assert exc.value.invariant == "counter-truth"
+    assert exc.value.counter == "demand_hits"
+
+
+def test_vanished_line_breaks_conservation(checked_hierarchy):
+    level = checked_hierarchy.l1
+    set_idx, way, line = first_valid(level)
+    # Drop the line *and* its index entry: the index stays consistent,
+    # so what fails is insertions == departures + resident.
+    del level._index[set_idx][line.tag]
+    line.reset()
+    with pytest.raises(InvariantViolation) as exc:
+        checked_hierarchy.simcheck.check()
+    assert exc.value.invariant == "line-conservation"
+    assert exc.value.counter == "insertions==evictions+resident"
+
+
+def test_tampered_dram_writeback_counter_raises(checked_hierarchy):
+    checked_hierarchy.counters.dram_writebacks += 1
+    with pytest.raises(InvariantViolation) as exc:
+        checked_hierarchy.simcheck.check()
+    # Both the DRAM cross-check and writeback conservation watch this
+    # counter; either naming is a correct diagnosis.
+    assert exc.value.invariant in ("counter-truth",
+                                   "writeback-conservation")
+
+
+def test_negative_energy_raises(checked_hierarchy):
+    checked_hierarchy.l2.stats.energy.read_pj = -1.0
+    with pytest.raises(InvariantViolation) as exc:
+        checked_hierarchy.simcheck.check()
+    assert exc.value.invariant == "energy-monotonicity"
+    assert exc.value.counter == "read_pj"
+
+
+def test_decreasing_energy_raises(checked_hierarchy):
+    checked_hierarchy.simcheck.check()  # records the current floor
+    checked_hierarchy.l3.stats.energy.insertion_pj *= 0.5
+    with pytest.raises(InvariantViolation) as exc:
+        checked_hierarchy.simcheck.check()
+    assert exc.value.invariant == "energy-monotonicity"
+    assert exc.value.counter == "insertion_pj"
+
+
+# ----------------------------------------------------------------------
+# EOU guards
+# ----------------------------------------------------------------------
+def test_eou_energy_ledger_mismatch_raises(checked_hierarchy):
+    eou = checked_hierarchy.runtime.eous["L2"]
+    eou.stats.energy_pj += 5.0
+    with pytest.raises(InvariantViolation) as exc:
+        checked_hierarchy.simcheck.check()
+    assert exc.value.invariant == "eou-energy"
+    assert exc.value.counter == "energy_pj"
+
+
+def test_eou_rejects_negative_distribution(checked_hierarchy):
+    from repro.core.distribution import ReuseDistanceDistribution
+
+    eou = checked_hierarchy.runtime.eous["L2"]
+    distribution = ReuseDistanceDistribution(
+        boundaries=tuple(range(1, eou.model.num_bins)))
+    distribution.counts[0] = -3
+    with pytest.raises(InvariantViolation) as exc:
+        eou.optimize(distribution)
+    assert exc.value.invariant == "eou-distribution"
+
+
+# ----------------------------------------------------------------------
+# Multicore (shared L3 wraps once, per-core checks still run)
+# ----------------------------------------------------------------------
+def test_multicore_runs_clean_under_simcheck(monkeypatch):
+    monkeypatch.setenv("REPRO_CHECK_INVARIANTS", "128")
+    from repro.sim.multi_core import run_mix
+
+    result = run_mix(("soplex", "milc"), "slip_abp", length_per_core=4000)
+    assert result.l3_energy_pj() > 0
