@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# One-shot pre-merge gate for this repo. Runs the tier-1 test suite,
+# the slip-lint static checks, and a determinism smoke (fixed-seed
+# byte-identity of the CLI across serial and parallel runs).
+#
+# Usage: scripts/check.sh [--fast]
+#   --fast   skip the full pytest run; lint + determinism smoke only.
+#
+# Exit code: 0 only if every stage passes. Run from anywhere; the
+# script cd's to the repo root.
+
+set -u
+cd "$(dirname "$0")/.."
+export PYTHONPATH=src
+
+fast=0
+if [ "${1:-}" = "--fast" ]; then
+    fast=1
+elif [ -n "${1:-}" ]; then
+    echo "usage: scripts/check.sh [--fast]" >&2
+    exit 2
+fi
+
+fail=0
+stage() {
+    echo "==> $1"
+    shift
+    if "$@"; then
+        echo "    OK"
+    else
+        echo "    FAIL: $*" >&2
+        fail=1
+    fi
+}
+
+if [ "$fast" -eq 0 ]; then
+    stage "tier-1 tests (pytest)" python -m pytest -q tests/
+fi
+
+stage "slip-lint (static checks)" python -m repro.analysis.lint src/
+
+# Determinism smoke: same figure, same seed, serial vs parallel must
+# emit byte-identical results once timing lines ([...]) are stripped.
+det_smoke() {
+    local out1 out4
+    out1="$(python -m repro.experiments.runner fig01 --length 2000 --jobs 1 \
+        | grep -v '^\[')" || return 1
+    out4="$(python -m repro.experiments.runner fig01 --length 2000 --jobs 4 \
+        | grep -v '^\[')" || return 1
+    [ "$out1" = "$out4" ]
+}
+stage "determinism smoke (serial == parallel)" det_smoke
+
+if [ "$fail" -ne 0 ]; then
+    echo "check.sh: FAILED" >&2
+    exit 1
+fi
+echo "check.sh: all stages passed"

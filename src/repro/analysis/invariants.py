@@ -335,7 +335,10 @@ class LevelChecker:
                 counter="insertions==evictions+resident")
 
     def _check_energy(self) -> None:
-        energy = self.level.stats.energy
+        # Energy accounting is deferred to integer event counters;
+        # materialize (idempotent) so the audit sees real picojoules,
+        # and corrupted counters surface as negative/shrinking fields.
+        energy = self.level.stats.materialize().energy
         name = self.level.cfg.name
         for field in dataclass_fields(energy):
             value = getattr(energy, field.name)
@@ -377,6 +380,10 @@ class HierarchyInvariantChecker:
                 continue
             checker = LevelChecker(level, getattr(placement, "space", None))
             level._simcheck = checker
+            # The fused baseline fill would bypass the wrapped
+            # primitives (and so the shadow ledger); force every
+            # placement through the observable slow path.
+            level._fast_fill = False
             self.level_checkers.append(checker)
 
         self._install_eou_guards()

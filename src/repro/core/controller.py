@@ -47,7 +47,7 @@ class SlipPlacement(PlacementPolicy):
             return self.space.default_id
         return self.runtime.policy_for(self.level.cfg.name, page)
 
-    def fill(self, line_addr: int, *, page: int = -1, dirty: bool = False,
+    def fill(self, line_addr: int, page: int = -1, dirty: bool = False,
              is_metadata: bool = False) -> FillOutcome:
         level = self.level
         assert level is not None
@@ -59,7 +59,7 @@ class SlipPlacement(PlacementPolicy):
             level.record_bypass(slip_class, dirty=dirty)
             outcome = FillOutcome(inserted=False)
             if dirty:
-                outcome.writebacks.append(line_addr)
+                outcome.add_writeback(line_addr)
             return outcome
 
         outcome = FillOutcome(inserted=True)

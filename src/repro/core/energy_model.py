@@ -31,6 +31,17 @@ from typing import List, Sequence, Tuple
 from .policy import Slip, SlipSpace
 
 
+def exact_dot(counts: Sequence[float], values: Sequence[float]) -> float:
+    """Order-independent dot product via ``math.fsum``.
+
+    The one blessed way to turn (event count, energy table) pairs into
+    picojoules: exactly rounded, so materialized energies cannot drift
+    with accumulation order. Shared by the EEU coefficient evaluation
+    and the deferred LevelStats materialization.
+    """
+    return math.fsum(c * v for c, v in zip(counts, values))
+
+
 @dataclass(frozen=True)
 class LevelEnergyParams:
     """Hardware constants feeding the analytical model for one level."""
@@ -125,8 +136,7 @@ class SlipEnergyModel:
     def energy_of(self, slip_id: int,
                   probabilities: Sequence[float]) -> float:
         """Expected energy per access of one SLIP for a distribution."""
-        alpha = self.alphas[slip_id]
-        return math.fsum(a * p for a, p in zip(alpha, probabilities))
+        return exact_dot(self.alphas[slip_id], probabilities)
 
     def best_slip(self, probabilities: Sequence[float],
                   allow_abp: bool = True) -> int:

@@ -56,6 +56,12 @@ class RuntimeStats:
     state_transitions_to_sampling: int = 0
 
 
+#: Shared "nothing to fetch" result for the TLB-hit case — the common
+#: outcome of every demand access. Callers only iterate it; never
+#: mutate.
+_NO_FETCHES: List[int] = []
+
+
 class BaselineRuntime:
     """MMU runtime for non-SLIP systems: TLB plus plain PTE fetches."""
 
@@ -69,7 +75,7 @@ class BaselineRuntime:
     def on_demand_access(self, page: int) -> List[int]:
         """Returns metadata line addresses to fetch (empty on TLB hit)."""
         if self.tlb.access(page):
-            return []
+            return _NO_FETCHES
         self.stats.tlb_miss_fetches += 1
         return [pte_line_address(page)]
 
@@ -78,8 +84,22 @@ class BaselineRuntime:
         return page
 
     def on_reference(self, page: int, line_addr: int) -> List[int]:
-        """Per-access metadata hook; baseline only consults the TLB."""
-        return self.on_demand_access(page)
+        """Per-access metadata hook; baseline only consults the TLB.
+
+        Mirrors :meth:`on_demand_access` (with the TLB hit probe
+        inlined) rather than delegating to it: this runs once per
+        simulated access and each frame shows up in profiles.
+        """
+        tlb = self.tlb
+        pages = tlb._pages
+        if page in pages:
+            pages.move_to_end(page)
+            tlb.stats.hits += 1
+            return _NO_FETCHES
+        if not tlb.access(page):
+            self.stats.tlb_miss_fetches += 1
+            return [pte_line_address(page)]
+        return _NO_FETCHES  # pragma: no cover — access() saw a hit
 
     def extra_stall_cycles(self) -> int:
         return 0
@@ -215,7 +235,7 @@ class SlipRuntime(BaselineRuntime):
 
     def on_demand_access(self, page: int) -> List[int]:
         if self.tlb.access(page):
-            return []
+            return _NO_FETCHES
         self.stats.tlb_miss_fetches += 1
         return [pte_line_address(page)] + self._key_metadata_fetches(page)
 

@@ -8,6 +8,7 @@ Usage::
     slip-experiments --all --jobs 8                  # parallel fan-out
     REPRO_EXP_LENGTH=500000 slip-experiments --all   # higher fidelity
     REPRO_EXP_JOBS=8 slip-experiments --all          # same as --jobs 8
+    slip-experiments fig09 --profile out.pstats      # cProfile the run
 
 Each experiment prints a formatted table with the paper's reference
 numbers in the notes, so paper-vs-measured comparison is immediate.
@@ -23,6 +24,8 @@ wall-clock — tables are byte-identical for any ``--jobs``.
 from __future__ import annotations
 
 import argparse
+import cProfile
+import dataclasses
 import sys
 import time
 from typing import Callable, Dict, List, Optional, Tuple
@@ -141,6 +144,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "(default: REPRO_EXP_JOBS or 1)")
     parser.add_argument("--markdown", metavar="PATH", default=None,
                         help="also write the tables as markdown to PATH")
+    parser.add_argument("--profile", metavar="PATH", default=None,
+                        help="profile the run with cProfile and dump "
+                             "pstats to PATH (forces --jobs 1; inspect "
+                             "with `python -m pstats PATH`)")
     args = parser.parse_args(argv)
 
     if args.list:
@@ -170,28 +177,50 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(exc, file=sys.stderr)
         return 2
 
-    overall_started = time.time()
-    if jobs > 1:
-        report = prefetch_shared_sweep(names, settings)
-        if report is not None:
-            # Timing lines only (all "["-prefixed): table bodies must
-            # stay byte-identical to a serial run.
-            print("\n".join(report.lines()))
+    if args.profile is not None and jobs > 1:
+        # cProfile only sees this process; worker processes would hide
+        # exactly the hot paths being profiled. Force a serial run.
+        print("[--profile forces --jobs 1]", file=sys.stderr)
+        settings = dataclasses.replace(settings, jobs=1)
+        jobs = 1
+
+    def run_selected() -> None:
+        overall_started = time.time()
+        if jobs > 1:
+            report = prefetch_shared_sweep(names, settings)
+            if report is not None:
+                # Timing lines only (all "["-prefixed): table bodies
+                # must stay byte-identical to a serial run.
+                print("\n".join(report.lines()))
+
+        for name in names:
+            runner = EXPERIMENTS[name]
+            started = time.time()
+            table = runner(settings)
+            print(table.formatted())
+            if table.perf:
+                print(table.perf_text())
+            print(f"[{name} took {time.time() - started:.1f}s]\n")
+            if args.markdown:
+                markdown_parts.append(table.to_markdown())
+        print(f"[{len(names)} experiment(s) took "
+              f"{time.time() - overall_started:.1f}s total, "
+              f"jobs={jobs}]")
 
     markdown_parts: List[str] = []
-    for name in names:
-        runner = EXPERIMENTS[name]
-        started = time.time()
-        table = runner(settings)
-        print(table.formatted())
-        if table.perf:
-            print(table.perf_text())
-        print(f"[{name} took {time.time() - started:.1f}s]\n")
-        if args.markdown:
-            markdown_parts.append(table.to_markdown())
-    print(f"[{len(names)} experiment(s) took "
-          f"{time.time() - overall_started:.1f}s total, "
-          f"jobs={jobs}]")
+    if args.profile is not None:
+        profiler = cProfile.Profile()
+        profiler.enable()
+        try:
+            run_selected()
+        finally:
+            profiler.disable()
+            profiler.dump_stats(args.profile)
+            print(f"[profile written to {args.profile}; inspect with "
+                  f"`python -m pstats {args.profile}`]")
+    else:
+        run_selected()
+
     if args.markdown:
         header = (
             "# Experiment results\n\n"

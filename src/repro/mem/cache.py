@@ -34,9 +34,6 @@ class Line:
         "sampling", "is_metadata",
     )
 
-    def __init__(self) -> None:
-        self.reset()
-
     def reset(self) -> None:
         self.tag = -1
         self.valid = False
@@ -53,6 +50,24 @@ class Line:
         self.page = -1
         self.sampling = False
         self.is_metadata = False
+
+    def __init__(self) -> None:
+        """Minimal construction: a hierarchy allocates tens of
+        thousands of lines, so only the slots a fill does NOT write are
+        initialized here — ``valid`` (every reader's guard), plus the
+        replacement-state slots that victim selection may read on a
+        direct call (``lru``/``rrpv``/``demoted``) and the SHiP
+        feedback pair. Every remaining slot is written by
+        place_fill/place_moved/the fused baseline fill before the line
+        becomes readable (``valid=True``), and :meth:`reset` restores
+        all of them on extraction.
+        """
+        self.valid = False
+        self.lru = 0
+        self.demoted = False
+        self.rrpv = 0
+        self.signature = 0
+        self.outcome = False
 
 
 class EvictedLine:
@@ -96,38 +111,77 @@ class CacheLevel:
         # Exact-type check: subclasses (e.g. PEA's demoted-first LRU)
         # override victim selection and must not take the fast path.
         self._plain_lru = type(replacement).__name__ == "LruReplacement"
+        # Bound once: only SHiP wants eviction-outcome feedback, and an
+        # isinstance per departure is measurable on the fill path.
+        self._ship_on_evict = (replacement.on_evict
+                               if isinstance(replacement, ShipReplacement)
+                               else None)
+        # May BaselinePlacement use its fused fill on this level? True
+        # for stock LRU with nothing observing the placement
+        # primitives; SimCheck clears it when it wraps this level.
+        self._fast_fill = self._plain_lru
         # Rotating start offset for invalid-way allocation scans.
         self._alloc_rotor = 0
+        self.num_sets = cfg.sets
         self.sets: List[List[Line]] = [
             [Line() for _ in range(cfg.ways)] for _ in range(cfg.sets)
         ]
         # tag -> way index per set, kept in sync by every placement
         # primitive; makes probe O(1) instead of an associative scan.
         self._index: List[dict] = [{} for _ in range(cfg.sets)]
-        self.stats = LevelStats(cfg.name, num_sublevels=cfg.num_sublevels)
+        #: Valid lines in the array; maintained by place/extract so
+        #: occupancy() never rescans the whole array.
+        self.valid_count = 0
+        # Flat per-way lookup tables (hot path): no sublevel rescans.
+        self.sublevel_by_way: List[int] = list(cfg.way_sublevels)
+        self.read_pj_by_way: List[float] = list(cfg.way_read_energies_pj)
+        # Writes drive the same wires/bitlines as reads (see config).
+        self.write_pj_by_way: List[float] = list(cfg.way_read_energies_pj)
+        self.latency_by_way: List[int] = list(cfg.way_latencies)
+        self.stats = self._new_stats()
         # Level access counter T; wraps every 4C accesses (Section 4.1).
         self.access_counter = 0
         self.timestamp_wrap = 4 * cfg.lines
+        # Accesses per timestamp increment; constant for the level's
+        # lifetime (timestamp_wrap never changes), so computed once.
+        self._granule = max(1, self.timestamp_wrap >> timestamp_bits)
+        # 2**timestamp_bits is a power of two, so "% span" == "& mask".
+        self._ts_mask = (1 << timestamp_bits) - 1
+
+    def _new_stats(self) -> LevelStats:
+        stats = LevelStats(self.cfg.name,
+                           num_sublevels=self.cfg.num_sublevels)
+        stats.attach_energy_tables(
+            self.cfg.sublevel_read_energies_pj,
+            self.cfg.sublevel_read_energies_pj,
+            self.cfg.metadata_energy_pj,
+        )
+        return stats
 
     def reset_stats(self) -> None:
         """Zero all counters/energy while keeping the array state.
 
         Used at the end of a warmup phase, mirroring how the paper's
-        SimPoint methodology excludes warmup from measurement.
+        SimPoint methodology excludes warmup from measurement. The
+        outgoing stats are materialized first so any caller still
+        holding them sees final energies rather than zeros.
         """
-        self.stats = LevelStats(
-            self.cfg.name, num_sublevels=self.cfg.num_sublevels
-        )
+        self.stats.materialize()
+        self.stats = self._new_stats()
+
+    def materialize_energy(self) -> LevelStats:
+        """Fold deferred event counters into published energies."""
+        return self.stats.materialize()
 
     # ------------------------------------------------------------------
     # Addressing
     # ------------------------------------------------------------------
     def set_index(self, line_addr: int) -> int:
-        return line_addr % len(self.sets)
+        return line_addr % self.num_sets
 
     def probe(self, line_addr: int) -> Tuple[int, Optional[int]]:
         """Locate a line without side effects. Returns (set, way|None)."""
-        set_idx = line_addr % len(self.sets)
+        set_idx = line_addr % self.num_sets
         return set_idx, self._index[set_idx].get(line_addr)
 
     def tick(self) -> int:
@@ -145,13 +199,13 @@ class CacheLevel:
         level with fewer than ``2**timestamp_bits / 4`` lines) would
         otherwise shift the granule to 0 and divide by zero; a 1-access
         granule just means the stamp has more resolution than needed.
+        Cached at construction — ``timestamp_wrap`` is fixed per level.
         """
-        return max(1, self.timestamp_wrap >> self.timestamp_bits)
+        return self._granule
 
     def timestamp_now(self) -> int:
         """The ``timestamp_bits`` MSBs of the level access counter."""
-        granule = self._timestamp_granule()
-        return (self.access_counter // granule) % (1 << self.timestamp_bits)
+        return (self.access_counter // self._granule) & self._ts_mask
 
     def reuse_distance(self, line_ts: int) -> int:
         """Approximate reuse distance, in lines, from a stored timestamp.
@@ -160,9 +214,8 @@ class CacheLevel:
         timestamp is older than one full wrap aliases to a shorter
         distance, which is the accepted imprecision of a 6-bit stamp.
         """
-        span = 1 << self.timestamp_bits
-        delta = (self.timestamp_now() - line_ts) % span
-        return delta * self._timestamp_granule()
+        delta = (self.timestamp_now() - line_ts) & self._ts_mask
+        return delta * self._granule
 
     # ------------------------------------------------------------------
     # Access primitives (with energy accounting)
@@ -174,26 +227,34 @@ class CacheLevel:
         line.hits += 1
         if is_write:
             line.dirty = True
+        stats = self.stats
         if is_metadata:
-            self.stats.metadata_hits += 1
+            stats.metadata_hits += 1
         else:
-            self.stats.demand_hits += 1
-        sublevel = self.cfg.sublevel_of_way(way)
-        self.stats.hits_by_sublevel[sublevel] += 1
-        self.stats.energy.read_pj += self.cfg.read_energy_pj(way)
+            stats.demand_hits += 1
+        sublevel = self.sublevel_by_way[way]
+        stats.hits_by_sublevel[sublevel] += 1
+        stats.read_events[sublevel] += 1
         if self.track_metadata_energy:
-            self.stats.energy.metadata_pj += self.cfg.metadata_energy_pj
-        self.replacement.on_hit(set_idx, way, line)
-        return self.cfg.latency_of_way(way)
+            stats.metadata_events += 1
+        if self._plain_lru:
+            # Inlined LruReplacement.on_hit (_stamp), as in place_fill.
+            replacement = self.replacement
+            replacement._clock += 1
+            line.lru = replacement._clock
+        else:
+            self.replacement.on_hit(set_idx, way, line)
+        return self.latency_by_way[way]
 
     def record_miss(self, is_metadata: bool = False) -> int:
         """Account a miss; returns the miss-probe latency."""
+        stats = self.stats
         if is_metadata:
-            self.stats.metadata_misses += 1
+            stats.metadata_misses += 1
         else:
-            self.stats.demand_misses += 1
+            stats.demand_misses += 1
         if self.track_metadata_energy:
-            self.stats.energy.metadata_pj += self.cfg.metadata_energy_pj
+            stats.metadata_events += 1
         return self.cfg.latency_cycles
 
     # ------------------------------------------------------------------
@@ -219,21 +280,28 @@ class CacheLevel:
         """
         lines = self.sets[set_idx]
         n = len(candidate_ways)
-        self._alloc_rotor = (self._alloc_rotor + 1) % 64
-        rotor = self._alloc_rotor % n
+        self._alloc_rotor = rotor = (self._alloc_rotor + 1) % 64
+        rotor %= n
+        # Rotate by slicing once instead of taking (i + rotor) % n per
+        # way: same visit order, no per-iteration modulo.
+        if rotor:
+            ordered = [*candidate_ways[rotor:], *candidate_ways[:rotor]]
+        else:
+            ordered = candidate_ways
         if self._plain_lru:
             # Fused invalid + min-LRU scan; one pass, rotated start.
-            best_way, best_lru = -1, None
-            for i in range(n):
-                way = candidate_ways[(i + rotor) % n]
+            # inf as the initial floor keeps the loop branch simple
+            # (every real LRU stamp is a finite int).
+            best_way, best_lru = -1, float("inf")
+            for way in ordered:
                 line = lines[way]
                 if not line.valid:
                     return way
-                if best_lru is None or line.lru < best_lru:
-                    best_way, best_lru = way, line.lru
+                lru = line.lru
+                if lru < best_lru:
+                    best_way, best_lru = way, lru
             return best_way
-        for i in range(n):
-            way = candidate_ways[(i + rotor) % n]
+        for way in ordered:
             if not lines[way].valid:
                 return way
         return self.replacement.choose_victim(
@@ -253,13 +321,14 @@ class CacheLevel:
         evicted = EvictedLine(line, way)
         del self._index[set_idx][line.tag]
         line.reset()
+        self.valid_count -= 1
         return evicted
 
     def record_departure(self, evicted: EvictedLine) -> None:
         """Bookkeeping for a line that left the level for good."""
         self.stats.record_reuse_count(evicted.hits)
-        if isinstance(self.replacement, ShipReplacement):
-            self.replacement.on_evict(evicted)
+        if self._ship_on_evict is not None:
+            self._ship_on_evict(evicted)
 
     def place_fill(self, set_idx: int, way: int, line_addr: int, *,
                    dirty: bool = False, policy_id: int = 0,
@@ -281,11 +350,20 @@ class CacheLevel:
         line.is_metadata = is_metadata
         line.ts = timestamp
         line.hits = 0
-        self.stats.insertions += 1
-        self.stats.energy.insertion_pj += self.cfg.write_energy_pj(way)
+        self.valid_count += 1
+        stats = self.stats
+        stats.insertions += 1
+        stats.insert_events[self.sublevel_by_way[way]] += 1
         if self.track_metadata_energy:
-            self.stats.energy.metadata_pj += self.cfg.metadata_energy_pj
-        self.replacement.on_fill(set_idx, way, line)
+            stats.metadata_events += 1
+        if self._plain_lru:
+            # Inlined LruReplacement.on_fill (_stamp): one call frame
+            # saved per insertion on the hottest placement primitive.
+            replacement = self.replacement
+            replacement._clock += 1
+            line.lru = replacement._clock
+        else:
+            self.replacement.on_fill(set_idx, way, line)
 
     def place_moved(self, set_idx: int, way: int,
                     moved: EvictedLine, new_chunk_idx: int,
@@ -311,13 +389,15 @@ class CacheLevel:
         line.signature = moved.signature
         line.outcome = moved.outcome
         line.is_metadata = moved.is_metadata
-        self.stats.movements += 1
+        self.valid_count += 1
+        stats = self.stats
+        stats.movements += 1
         # A movement reads the source way and writes the destination way.
-        self.stats.energy.movement_pj += (
-            self.cfg.read_energy_pj(moved.from_way)
-            + self.cfg.write_energy_pj(way)
-        )
-        self.stats.energy.movement_queue_pj += movement_queue_pj
+        stats.move_read_events[self.sublevel_by_way[moved.from_way]] += 1
+        stats.move_write_events[self.sublevel_by_way[way]] += 1
+        # Kept live: the queue charge is an arbitrary per-event float
+        # from the placement policy, and movements are rare.
+        stats.energy.movement_queue_pj += movement_queue_pj
         self.replacement.on_move_in(set_idx, way, line)
 
     def record_writeback_in(self, set_idx: int, way: int) -> None:
@@ -329,12 +409,12 @@ class CacheLevel:
         line = self.sets[set_idx][way]
         line.dirty = True
         self.stats.writebacks_in += 1
-        self.stats.energy.writeback_pj += self.cfg.write_energy_pj(way)
+        self.stats.wb_in_events[self.sublevel_by_way[way]] += 1
 
     def record_writeback_out(self, from_way: int) -> None:
         """Charge the read of a dirty line leaving this level."""
         self.stats.writebacks_out += 1
-        self.stats.energy.writeback_pj += self.cfg.read_energy_pj(from_way)
+        self.stats.wb_out_events[self.sublevel_by_way[from_way]] += 1
 
     def record_bypass(self, slip_class: str = "abp",
                       dirty: bool = False) -> None:
@@ -360,9 +440,18 @@ class CacheLevel:
     # Introspection helpers (used by tests)
     # ------------------------------------------------------------------
     def resident_lines(self) -> List[Line]:
+        """Valid lines, via the per-set probe indices.
+
+        O(resident) instead of O(capacity): cold sets contribute
+        nothing, and finalize() on a short run no longer scans every
+        way of every set.
+        """
+        sets = self.sets
         return [
-            line for line_set in self.sets for line in line_set if line.valid
+            sets[set_idx][way]
+            for set_idx, index in enumerate(self._index)
+            for way in index.values()
         ]
 
     def occupancy(self) -> float:
-        return len(self.resident_lines()) / self.cfg.lines
+        return self.valid_count / self.cfg.lines

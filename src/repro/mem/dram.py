@@ -18,15 +18,21 @@ class Dram:
     def __init__(self, cfg: DramConfig) -> None:
         self.cfg = cfg
         self.stats = DramStats()
+        # The per-line energy is a derived property on a frozen config;
+        # snapshot both hot constants instead of recomputing per access.
+        self._energy_pj = cfg.energy_pj_per_line
+        self._latency = cfg.latency_cycles
 
     def read(self) -> int:
         """Fetch one line; returns the access latency in cycles."""
-        self.stats.reads += 1
-        self.stats.energy_pj += self.cfg.energy_pj_per_line
-        return self.cfg.latency_cycles
+        stats = self.stats
+        stats.reads += 1
+        stats.energy_pj += self._energy_pj
+        return self._latency
 
     def write(self) -> int:
         """Write one line back; returns the access latency in cycles."""
-        self.stats.writes += 1
-        self.stats.energy_pj += self.cfg.energy_pj_per_line
-        return self.cfg.latency_cycles
+        stats = self.stats
+        stats.writes += 1
+        stats.energy_pj += self._energy_pj
+        return self._latency

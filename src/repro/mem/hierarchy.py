@@ -40,6 +40,42 @@ class HierarchyCounters:
         return self.dram_demand_reads + self.dram_metadata_reads
 
 
+def _fused_hit(level: CacheLevel, set_idx: int, way: int,
+               is_metadata: bool) -> int:
+    """record_hit fused for a plain-LRU level outside SimCheck.
+
+    Below L1 a demand hit is always a read (writes allocate at L1), and
+    the gating flags guarantee no metadata-energy tracking and a stock
+    LRU recency stamp.
+    """
+    line = level.sets[set_idx][way]
+    line.hits += 1
+    stats = level.stats
+    if is_metadata:
+        stats.metadata_hits += 1
+    else:
+        stats.demand_hits += 1
+    sublevel = level.sublevel_by_way[way]
+    stats.hits_by_sublevel[sublevel] += 1
+    stats.read_events[sublevel] += 1
+    replacement = level.replacement
+    replacement._clock += 1
+    line.lru = replacement._clock
+    return level.latency_by_way[way]
+
+
+def _fused_miss(level: CacheLevel, is_metadata: bool) -> int:
+    """record_miss fused for any level outside SimCheck."""
+    stats = level.stats
+    if is_metadata:
+        stats.metadata_misses += 1
+    else:
+        stats.demand_misses += 1
+    if level.track_metadata_energy:
+        stats.metadata_events += 1
+    return level.cfg.latency_cycles
+
+
 class MemoryHierarchy:
     """A single core's view of the cache hierarchy."""
 
@@ -92,6 +128,46 @@ class MemoryHierarchy:
         # SimCheck: no-op unless REPRO_CHECK_INVARIANTS is set, in which
         # case conservation/consistency checkers wrap this hierarchy.
         self.simcheck = maybe_install(self, l3_shared=shared_l3 is not None)
+        # Inline L1 hit fast path: legal only when nothing observes the
+        # individual accounting calls (SimCheck wraps record_hit on the
+        # instance) and L1 runs the stock LRU stamp, which is all this
+        # hierarchy ever builds but subclasses/tests may change.
+        self._l1_fast = (
+            self.simcheck is None
+            and type(self.l1.replacement) is LruReplacement
+            and not self.l1.track_metadata_energy
+        )
+        # Same idea below L1: with no SimCheck wrappers to observe the
+        # accounting primitives, hit/miss/writeback bookkeeping for L2
+        # and L3 is fused into _access_below_l1. The hit fast path
+        # additionally needs the stock LRU recency stamp.
+        self._unchecked = self.simcheck is None
+        self._l2_hit_fast = (
+            self._unchecked and self.l2._plain_lru
+            and not self.l2.track_metadata_energy
+        )
+        self._l3_hit_fast = (
+            self._unchecked and self.l3._plain_lru
+            and not self.l3.track_metadata_energy
+        )
+        # Baseline placements never react to hits; skip the no-op call.
+        self._l2_onhit_noop = \
+            type(self.l2_placement).on_hit is PlacementPolicy.on_hit
+        self._l3_onhit_noop = \
+            type(self.l3_placement).on_hit is PlacementPolicy.on_hit
+        # Deferred import: repro.core's __init__ transitively imports
+        # repro.mem, so a module-level import here could close a cycle
+        # mid-initialization depending on which package loads first.
+        from ..core.runtime import BaselineRuntime, SlipRuntime
+        pk = type(runtime).profile_key
+        # When the profile key provably equals the page (baseline, or
+        # SLIP at page grain), access() reuses the page it already
+        # computed instead of a per-access method call.
+        self._key_is_page = (
+            pk is BaselineRuntime.profile_key
+            or (pk is SlipRuntime.profile_key
+                and runtime.block_shift is None)
+        )
 
     # ------------------------------------------------------------------
     def page_of(self, line_addr: int) -> int:
@@ -101,41 +177,67 @@ class MemoryHierarchy:
     # Public access entry point
     # ------------------------------------------------------------------
     def access(self, line_addr: int, is_write: bool = False) -> int:
-        """One demand access; returns its total latency in cycles."""
-        self.counters.demand_accesses += 1
-        page = self.page_of(line_addr)
-        for metadata_addr in self.runtime.on_reference(page, line_addr):
-            self._access_below_l1(metadata_addr, is_metadata=True, page=-1)
+        """One demand access; returns its total latency in cycles.
+
+        The L1 leg lives directly in this method (rather than a helper
+        per level as below L1): it runs once per simulated access and
+        the call overhead alone is visible in profiles.
+        """
+        counters = self.counters
+        counters.demand_accesses += 1
+        page = line_addr >> self._page_shift
+        runtime = self.runtime
+        for metadata_addr in runtime.on_reference(page, line_addr):
+            self._access_below_l1(metadata_addr, True, -1)
         # The profile key is the page by default, or the rd-block under
         # the Section 7 extension; all SLIP metadata is keyed by it.
-        key = self.runtime.profile_key(page, line_addr)
-        latency = self._demand_access(line_addr, is_write, key)
-        self.counters.total_latency_cycles += latency
-        return latency
+        key = page if self._key_is_page \
+            else runtime.profile_key(page, line_addr)
 
-    # ------------------------------------------------------------------
-    def _demand_access(self, line_addr: int, is_write: bool,
-                       page: int) -> int:
+        l1 = self.l1
         # Advance L1's access counter T like L2/L3 do in
         # _access_below_l1; without this every L1 timestamp and
-        # reuse distance reads as 0.
-        self.l1.tick()
-        set_idx, way = self.l1.probe(line_addr)
+        # reuse distance reads as 0. (Inlined l1.tick().)
+        l1.access_counter = (l1.access_counter + 1) % l1.timestamp_wrap
+        set_idx = line_addr % l1.num_sets
+        way = l1._index[set_idx].get(line_addr)
         if way is not None:
-            self.counters.l1_hits += 1
-            return self.l1.record_hit(set_idx, way, is_write)
-        latency = self.l1.record_miss()
-        latency += self._access_below_l1(line_addr, is_metadata=False,
-                                         page=page)
-        # Allocate into L1 (write-allocate); dirty if this is a store.
-        outcome = self.l1_placement.fill(line_addr, page=page,
-                                         dirty=is_write)
+            counters.l1_hits += 1
+            if self._l1_fast:
+                # Fused record_hit for the dominant event of every
+                # trace: L1 is uniform (sublevel 0 only), never tracks
+                # metadata energy, and stamps recency with the stock
+                # LRU clock.
+                line = l1.sets[set_idx][way]
+                line.hits += 1
+                if is_write:
+                    line.dirty = True
+                stats = l1.stats
+                stats.demand_hits += 1
+                stats.hits_by_sublevel[0] += 1
+                stats.read_events[0] += 1
+                lru = l1.replacement
+                lru._clock += 1
+                line.lru = lru._clock
+                latency = l1.latency_by_way[way]
+            else:
+                latency = l1.record_hit(set_idx, way, is_write)
+            counters.total_latency_cycles += latency
+            return latency
+        if self._l1_fast:
+            # Fused record_miss: L1 never sees metadata accesses and
+            # never tracks metadata energy.
+            l1.stats.demand_misses += 1
+            latency = l1.cfg.latency_cycles
+        else:
+            latency = l1.record_miss()
+        latency += self._access_below_l1(line_addr, False, key)
+        # Allocate into L1 (write-allocate); dirty if this is a store —
+        # the fill itself installs the dirty bit, no re-probe needed.
+        outcome = self.l1_placement.fill(line_addr, key, is_write)
         for wb_addr in outcome.writebacks:
             self._writeback_below_l1(wb_addr)
-        if is_write:
-            l1_set, l1_way = self.l1.probe(line_addr)
-            assert l1_way is not None
-            self.l1.sets[l1_set][l1_way].dirty = True
+        counters.total_latency_cycles += latency
         return latency
 
     # ------------------------------------------------------------------
@@ -143,47 +245,68 @@ class MemoryHierarchy:
                          page: int) -> int:
         """Access L2 -> L3 -> DRAM; fill missing levels on the way back."""
         latency = 0
+        runtime = self.runtime
 
-        # ----- L2 -----
-        self.l2.tick()
-        set_idx, way = self.l2.probe(line_addr)
+        # ----- L2 ----- (tick and probe are inlined: SimCheck never
+        # wraps them, while the record_* accounting stays behind
+        # instance-method calls so its wrappers observe every event.)
+        l2 = self.l2
+        l2.access_counter = (l2.access_counter + 1) % l2.timestamp_wrap
+        set_idx = line_addr % l2.num_sets
+        way = l2._index[set_idx].get(line_addr)
         if way is not None:
-            latency += self.l2.record_hit(set_idx, way, is_write=False,
-                                          is_metadata=is_metadata)
-            self.l2_placement.on_hit(set_idx, way)
+            if self._l2_hit_fast:
+                latency += _fused_hit(l2, set_idx, way, is_metadata)
+                if not self._l2_onhit_noop:
+                    self.l2_placement.on_hit(set_idx, way)
+            else:
+                latency += l2.record_hit(set_idx, way, is_write=False,
+                                         is_metadata=is_metadata)
+                self.l2_placement.on_hit(set_idx, way)
             return latency
-        latency += self.l2.record_miss(is_metadata)
-        if not is_metadata and self.runtime.slip_enabled:
-            self.runtime.record_miss_sample("L2", page)
+        if self._unchecked:
+            latency += _fused_miss(l2, is_metadata)
+        else:
+            latency += l2.record_miss(is_metadata)
+        if not is_metadata and runtime.slip_enabled:
+            runtime.record_miss_sample("L2", page)
 
         # ----- L3 -----
-        self.l3.tick()
-        l3_set, l3_way = self.l3.probe(line_addr)
+        l3 = self.l3
+        l3.access_counter = (l3.access_counter + 1) % l3.timestamp_wrap
+        l3_set = line_addr % l3.num_sets
+        l3_way = l3._index[l3_set].get(line_addr)
         l3_hit = l3_way is not None
         if l3_hit:
-            latency += self.l3.record_hit(l3_set, l3_way, is_write=False,
-                                          is_metadata=is_metadata)
-            self.l3_placement.on_hit(l3_set, l3_way)
+            if self._l3_hit_fast:
+                latency += _fused_hit(l3, l3_set, l3_way, is_metadata)
+                if not self._l3_onhit_noop:
+                    self.l3_placement.on_hit(l3_set, l3_way)
+            else:
+                latency += l3.record_hit(l3_set, l3_way, is_write=False,
+                                         is_metadata=is_metadata)
+                self.l3_placement.on_hit(l3_set, l3_way)
         else:
-            latency += self.l3.record_miss(is_metadata)
-            if not is_metadata and self.runtime.slip_enabled:
-                self.runtime.record_miss_sample("L3", page)
+            if self._unchecked:
+                latency += _fused_miss(l3, is_metadata)
+            else:
+                latency += l3.record_miss(is_metadata)
+            if not is_metadata and runtime.slip_enabled:
+                runtime.record_miss_sample("L3", page)
             latency += self.dram.read()
             if is_metadata:
                 self.counters.dram_metadata_reads += 1
             else:
                 self.counters.dram_demand_reads += 1
             # Fill L3 (possibly bypassed by SLIP's ABP).
-            outcome = self.l3_placement.fill(
-                line_addr, page=page, is_metadata=is_metadata
-            )
+            outcome = self.l3_placement.fill(line_addr, page, False,
+                                             is_metadata)
             for wb_addr in outcome.writebacks:
                 self._writeback_to_dram(wb_addr)
 
         # Fill L2 on the way back (possibly bypassed).
-        outcome = self.l2_placement.fill(
-            line_addr, page=page, is_metadata=is_metadata
-        )
+        outcome = self.l2_placement.fill(line_addr, page, False,
+                                         is_metadata)
         for wb_addr in outcome.writebacks:
             self._writeback_to_l3(wb_addr)
         return latency
@@ -192,18 +315,34 @@ class MemoryHierarchy:
     # Writeback paths (write-no-allocate below the originating level)
     # ------------------------------------------------------------------
     def _writeback_below_l1(self, line_addr: int) -> None:
-        self.l2.tick()
-        set_idx, way = self.l2.probe(line_addr)
+        l2 = self.l2
+        l2.access_counter = (l2.access_counter + 1) % l2.timestamp_wrap
+        set_idx = line_addr % l2.num_sets
+        way = l2._index[set_idx].get(line_addr)
         if way is not None:
-            self.l2.record_writeback_in(set_idx, way)
+            if self._unchecked:
+                l2.sets[set_idx][way].dirty = True
+                stats = l2.stats
+                stats.writebacks_in += 1
+                stats.wb_in_events[l2.sublevel_by_way[way]] += 1
+            else:
+                l2.record_writeback_in(set_idx, way)
             return
         self._writeback_to_l3(line_addr)
 
     def _writeback_to_l3(self, line_addr: int) -> None:
-        self.l3.tick()
-        set_idx, way = self.l3.probe(line_addr)
+        l3 = self.l3
+        l3.access_counter = (l3.access_counter + 1) % l3.timestamp_wrap
+        set_idx = line_addr % l3.num_sets
+        way = l3._index[set_idx].get(line_addr)
         if way is not None:
-            self.l3.record_writeback_in(set_idx, way)
+            if self._unchecked:
+                l3.sets[set_idx][way].dirty = True
+                stats = l3.stats
+                stats.writebacks_in += 1
+                stats.wb_in_events[l3.sublevel_by_way[way]] += 1
+            else:
+                l3.record_writeback_in(set_idx, way)
             return
         self._writeback_to_dram(line_addr)
 
@@ -226,10 +365,25 @@ class MemoryHierarchy:
 
     # ------------------------------------------------------------------
     def finalize(self) -> None:
-        """Record reuse statistics for lines still resident at the end."""
+        """Record reuse statistics for lines still resident at the end.
+
+        Also materializes the deferred energy counters, so everything
+        downstream of a finished run reads final ``*_pj`` figures.
+        """
         for level in (self.l1, self.l2, self.l3):
             for line in level.resident_lines():
                 level.stats.record_reuse_count(line.hits)
+        self.materialize_energy()
+
+    def materialize_energy(self) -> None:
+        """Fold each level's event counters into its energy breakdown.
+
+        Idempotent (each call recomputes from the counters), so it is
+        safe at every statistics boundary: finalize, collect_result,
+        and SimCheck's periodic energy audit.
+        """
+        for level in (self.l1, self.l2, self.l3):
+            level.stats.materialize()
 
     # ------------------------------------------------------------------
     @property

@@ -1,9 +1,20 @@
-"""Event and energy counters for cache levels and DRAM."""
+"""Event and energy counters for cache levels and DRAM.
+
+Energy accounting is *deferred*: the hot-path primitives only bump
+integer event counters per (sublevel x event kind) on
+:class:`LevelStats`; :meth:`LevelStats.materialize` computes each
+``*_pj`` field once, as an exact ``math.fsum`` of count x table
+products, at statistics boundaries (collect/reset/finalize and the
+SimCheck energy audits). This removes millions of float adds from the
+access kernel and makes the totals independent of accumulation order.
+"""
 
 from __future__ import annotations
 
+import itertools
+import math
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional, Sequence
 
 
 @dataclass
@@ -22,6 +33,36 @@ class EnergyBreakdown:
     metadata_pj: float = 0.0
     movement_queue_pj: float = 0.0
     eou_pj: float = 0.0
+
+    def materialize(self, stats: "LevelStats",
+                    read_table: Sequence[float],
+                    write_table: Sequence[float],
+                    metadata_pj: float) -> None:
+        """Recompute the deferred fields from event counters.
+
+        Idempotent by construction: every field is overwritten with
+        ``fsum(count[s] * table[s])``, never accumulated into, so the
+        SimCheck energy audit can call this on every check period.
+        ``movement_queue_pj`` and ``eou_pj`` are not touched — the
+        queue charge is a per-event float handed in by the placement
+        policy, kept live because movements are rare.
+        """
+        # Imported here: repro.core.__init__ pulls the controller, which
+        # imports mem.cache -> mem.stats; a module-level import back
+        # into core would close that cycle mid-initialization.
+        from ..core.energy_model import exact_dot
+
+        self.read_pj = exact_dot(stats.read_events, read_table)
+        self.insertion_pj = exact_dot(stats.insert_events, write_table)
+        self.movement_pj = math.fsum(itertools.chain(
+            (c * e for c, e in zip(stats.move_read_events, read_table)),
+            (c * e for c, e in zip(stats.move_write_events, write_table)),
+        ))
+        self.writeback_pj = math.fsum(itertools.chain(
+            (c * e for c, e in zip(stats.wb_in_events, write_table)),
+            (c * e for c, e in zip(stats.wb_out_events, read_table)),
+        ))
+        self.metadata_pj = stats.metadata_events * metadata_pj
 
     @property
     def access_pj(self) -> float:
@@ -55,6 +96,12 @@ class EnergyBreakdown:
         )
 
 
+#: Histogram keys for small reuse counts; indexing a tuple beats a
+#: ``str(hits)`` call on the per-departure path. Shared with the fused
+#: baseline fill, which inlines record_reuse_count.
+REUSE_KEYS = ("0", "1", "2")
+
+
 @dataclass
 class LevelStats:
     """Counters for one cache level."""
@@ -86,6 +133,43 @@ class LevelStats:
             self.hits_by_sublevel = [0] * self.num_sublevels
         for cls in ("abp", "partial_bypass", "default", "other"):
             self.insertions_by_class.setdefault(cls, 0)
+        # Deferred-energy event counters, one slot per sublevel. Plain
+        # attributes, not dataclass fields: ``asdict`` (and therefore
+        # RunResult.to_dict) must keep emitting exactly the published
+        # counters and the materialized EnergyBreakdown.
+        n = self.num_sublevels
+        self.read_events: List[int] = [0] * n
+        self.insert_events: List[int] = [0] * n
+        self.move_read_events: List[int] = [0] * n
+        self.move_write_events: List[int] = [0] * n
+        self.wb_in_events: List[int] = [0] * n
+        self.wb_out_events: List[int] = [0] * n
+        self.metadata_events: int = 0
+        self._read_pj_table: Optional[Sequence[float]] = None
+        self._write_pj_table: Optional[Sequence[float]] = None
+        self._metadata_pj: float = 0.0
+
+    def attach_energy_tables(self, read_pj_by_sublevel: Sequence[float],
+                             write_pj_by_sublevel: Sequence[float],
+                             metadata_pj: float) -> None:
+        """Provide the per-sublevel energy values materialize() needs.
+
+        Called by :class:`~repro.mem.cache.CacheLevel` whenever it
+        creates a stats object; stats built without tables (unit tests,
+        hand-rolled breakdowns) simply skip materialization.
+        """
+        self._read_pj_table = read_pj_by_sublevel
+        self._write_pj_table = write_pj_by_sublevel
+        self._metadata_pj = metadata_pj
+
+    def materialize(self) -> "LevelStats":
+        """Fold the event counters into ``energy``; returns self."""
+        if self._read_pj_table is not None:
+            self.energy.materialize(
+                self, self._read_pj_table, self._write_pj_table,
+                self._metadata_pj,
+            )
+        return self
 
     @property
     def hits(self) -> int:
@@ -109,7 +193,7 @@ class LevelStats:
     def record_reuse_count(self, hits: int) -> None:
         """Count a line eviction by the number of hits it saw (Figure 1)."""
         if hits <= 2:
-            self.reuse_histogram[str(hits)] += 1
+            self.reuse_histogram[REUSE_KEYS[hits]] += 1
         else:
             self.reuse_histogram[">2"] += 1
 

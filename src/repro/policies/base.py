@@ -11,21 +11,46 @@ replacement (Section 3.1).
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 from ..mem.cache import CacheLevel, EvictedLine
 
 
-@dataclass
 class FillOutcome:
-    """Result of offering a line to a level."""
+    """Result of offering a line to a level.
 
-    inserted: bool
-    writebacks: List[int] = field(default_factory=list)
-    #: Clean lines evicted from the level entirely (for inclusion upkeep
-    #: and statistics; no writeback traffic).
-    clean_evictions: List[int] = field(default_factory=list)
+    A plain ``__slots__`` class rather than a dataclass: one is built
+    per fill on the hottest simulator path, and the generated dataclass
+    ``__init__`` plus two ``default_factory`` list constructions are
+    measurable there. Both sequences start as the shared empty tuple —
+    consumers only iterate/read them — and are promoted to real lists
+    by :meth:`add_writeback` / :meth:`add_clean_eviction` on first use.
+    """
+
+    __slots__ = ("inserted", "writebacks", "clean_evictions")
+
+    def __init__(self, inserted: bool,
+                 writebacks: Optional[List[int]] = None,
+                 clean_evictions: Optional[List[int]] = None) -> None:
+        self.inserted = inserted
+        self.writebacks: Sequence[int] = \
+            () if writebacks is None else writebacks
+        #: Clean lines evicted from the level entirely (for inclusion
+        #: upkeep and statistics; no writeback traffic).
+        self.clean_evictions: Sequence[int] = \
+            () if clean_evictions is None else clean_evictions
+
+    def add_writeback(self, tag: int) -> None:
+        if self.writebacks:
+            self.writebacks.append(tag)
+        else:
+            self.writebacks = [tag]
+
+    def add_clean_eviction(self, tag: int) -> None:
+        if self.clean_evictions:
+            self.clean_evictions.append(tag)
+        else:
+            self.clean_evictions = [tag]
 
 
 class PlacementPolicy(ABC):
@@ -42,7 +67,7 @@ class PlacementPolicy(ABC):
         self.level = level
 
     @abstractmethod
-    def fill(self, line_addr: int, *, page: int = -1, dirty: bool = False,
+    def fill(self, line_addr: int, page: int = -1, dirty: bool = False,
              is_metadata: bool = False) -> FillOutcome:
         """Offer a line fetched from the next level to this level."""
 
@@ -59,10 +84,11 @@ class PlacementPolicy(ABC):
         Only dirty victims cost energy: their data must be read out and
         written back. Clean victims are simply overwritten.
         """
-        assert self.level is not None
-        self.level.record_departure(victim)
+        level = self.level
+        assert level is not None
+        level.record_departure(victim)
         if victim.dirty:
-            self.level.record_writeback_out(victim.from_way)
-            outcome.writebacks.append(victim.tag)
+            level.record_writeback_out(victim.from_way)
+            outcome.add_writeback(victim.tag)
         else:
-            outcome.clean_evictions.append(victim.tag)
+            outcome.add_clean_eviction(victim.tag)

@@ -54,7 +54,7 @@ class LruPeaPlacement(PlacementPolicy):
             range(len(weights)), weights=weights, k=1
         )[0]
 
-    def fill(self, line_addr: int, *, page: int = -1, dirty: bool = False,
+    def fill(self, line_addr: int, page: int = -1, dirty: bool = False,
              is_metadata: bool = False) -> FillOutcome:
         level = self.level
         assert level is not None

@@ -56,7 +56,7 @@ class NurapidPlacement(PlacementPolicy):
             sublevel += 1
 
     # ------------------------------------------------------------------
-    def fill(self, line_addr: int, *, page: int = -1, dirty: bool = False,
+    def fill(self, line_addr: int, page: int = -1, dirty: bool = False,
              is_metadata: bool = False) -> FillOutcome:
         level = self.level
         assert level is not None

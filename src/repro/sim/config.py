@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field, replace
+from functools import cached_property
 from typing import Optional, Tuple
 
 LINE_SIZE_BYTES = 64
@@ -92,6 +93,39 @@ class CacheLevelConfig:
             total += self.sublevel_capacity_lines(idx)
             out.append(total)
         return tuple(out)
+
+    # ------------------------------------------------------------------
+    # Flat lookup tables for the simulator hot path. Computed once per
+    # config (cached_property writes straight into __dict__, which the
+    # frozen dataclass permits) so CacheLevel never rescans sublevels
+    # per access.
+    # ------------------------------------------------------------------
+    @cached_property
+    def way_sublevels(self) -> Tuple[int, ...]:
+        """Sublevel of every way, indexed by way."""
+        return tuple(self.sublevel_of_way(w) for w in range(self.ways))
+
+    @cached_property
+    def sublevel_read_energies_pj(self) -> Tuple[float, ...]:
+        """Per-sublevel read energy; single entry for uniform levels."""
+        if not self.sublevel_energy_pj:
+            return (self.access_energy_pj,)
+        return tuple(self.sublevel_energy_pj)
+
+    @cached_property
+    def way_read_energies_pj(self) -> Tuple[float, ...]:
+        """Read energy of every way, indexed by way."""
+        table = self.sublevel_read_energies_pj
+        return tuple(table[s] for s in self.way_sublevels)
+
+    @cached_property
+    def way_latencies(self) -> Tuple[int, ...]:
+        """Access latency of every way, indexed by way."""
+        if not self.sublevel_latency:
+            return (self.latency_cycles,) * self.ways
+        return tuple(
+            self.sublevel_latency[s] for s in self.way_sublevels
+        )
 
     def read_energy_pj(self, way: int) -> float:
         """Energy of reading a line from the given way."""

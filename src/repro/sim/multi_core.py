@@ -217,6 +217,12 @@ def run_mix_traces(
 
     for hierarchy in hierarchies:
         hierarchy.finalize()
+    # finalize() materialized every private level and the shared L3
+    # (idempotently, once per owning hierarchy); materialize again
+    # explicitly so the collection below cannot depend on that detail.
+    shared_l3.stats.materialize()
+    for hierarchy in hierarchies:
+        hierarchy.l2.stats.materialize()
 
     dram = DramStats()
     dram_accesses = 0

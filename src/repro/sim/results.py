@@ -134,6 +134,9 @@ def collect_result(policy: str, benchmark: str, config: SystemConfig,
                    hierarchy: MemoryHierarchy,
                    timing: TimingResult) -> RunResult:
     """Snapshot a finished hierarchy into a RunResult."""
+    # Deferred event-count accounting: fold counters into *_pj fields
+    # (idempotent; a no-op when finalize already materialized).
+    hierarchy.materialize_energy()
     eou = {}
     runtime = hierarchy.runtime
     if getattr(runtime, "slip_enabled", False):

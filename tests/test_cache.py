@@ -32,7 +32,7 @@ class TestProbeAndFill:
     def test_fill_records_insertion_energy(self, level):
         fill(level, 0)
         assert level.stats.insertions == 1
-        assert level.stats.energy.insertion_pj > 0
+        assert level.stats.materialize().energy.insertion_pj > 0
 
     def test_fill_into_valid_way_raises(self, level):
         set_idx, way, _ = fill(level, 0)
@@ -61,9 +61,9 @@ class TestProbeAndFill:
 class TestHitAccounting:
     def test_hit_energy_matches_sublevel(self, level):
         set_idx, way, _ = fill(level, 0)
-        before = level.stats.energy.read_pj
+        before = level.stats.materialize().energy.read_pj
         level.record_hit(set_idx, way, is_write=False)
-        delta = level.stats.energy.read_pj - before
+        delta = level.stats.materialize().energy.read_pj - before
         assert delta == level.cfg.read_energy_pj(way)
 
     def test_hit_latency_matches_sublevel(self, level):
@@ -94,12 +94,12 @@ class TestHitAccounting:
                              track_metadata_energy=True)
         set_idx, way, _ = fill(tracked, 0)
         tracked.record_hit(set_idx, way, False)
-        assert tracked.stats.energy.metadata_pj > 0
+        assert tracked.stats.materialize().energy.metadata_pj > 0
 
     def test_metadata_energy_not_charged_by_default(self, level):
         set_idx, way, _ = fill(level, 0)
         level.record_hit(set_idx, way, False)
-        assert level.stats.energy.metadata_pj == 0
+        assert level.stats.materialize().energy.metadata_pj == 0
 
 
 class TestMovement:
@@ -112,7 +112,8 @@ class TestMovement:
             + level.cfg.write_energy_pj(target)
         )
         level.place_moved(set_idx, target, moved, new_chunk_idx=1)
-        assert level.stats.energy.movement_pj == pytest.approx(expected)
+        assert level.stats.materialize().energy.movement_pj == \
+            pytest.approx(expected)
         assert level.stats.movements == 1
 
     def test_moved_line_keeps_identity(self, level):
@@ -166,7 +167,7 @@ class TestEvictionAndDeparture:
     def test_writeback_out_charges_read(self, level):
         set_idx, way, _ = fill(level, 0)
         level.record_writeback_out(way)
-        assert level.stats.energy.writeback_pj == (
+        assert level.stats.materialize().energy.writeback_pj == (
             level.cfg.read_energy_pj(way)
         )
         assert level.stats.writebacks_out == 1
@@ -175,7 +176,7 @@ class TestEvictionAndDeparture:
         set_idx, way, _ = fill(level, 0)
         level.record_writeback_in(set_idx, way)
         assert level.sets[set_idx][way].dirty
-        assert level.stats.energy.writeback_pj > 0
+        assert level.stats.materialize().energy.writeback_pj > 0
 
     def test_invalidate_removes_line(self, level):
         fill(level, 0)

@@ -1,0 +1,59 @@
+"""Golden accounting-equivalence tests for the hot-path rewrite.
+
+The fused access/fill fast paths (per-way tables, deferred event-count
+energy, inlined L1/L2/L3 legs) must be *byte-identical* in their
+published accounting to the pre-refactor primitive-by-primitive code.
+These tests pin that down: each snapshot under
+``tests/data/golden_accounting/`` is the exact ``RunResult.to_json()``
+produced by the pre-refactor tree for the same (benchmark, policy,
+length, seed) cell, and the current tree must reproduce it to the byte.
+
+If a deliberate accounting change ever invalidates these, regenerate
+the snapshots with the loop below and call the change out in the PR:
+
+    from repro.sim.single_core import run_benchmark
+    run_benchmark(bench, policy, length=20_000, seed=0).to_json() + "\n"
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.sim.single_core import run_benchmark
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "data" / "golden_accounting"
+
+CELLS = [
+    ("soplex", "baseline"),
+    ("soplex", "slip"),
+    ("lbm", "baseline"),
+    ("lbm", "slip"),
+]
+
+
+@pytest.mark.parametrize("bench,policy", CELLS)
+def test_golden_run_result_bytes(bench: str, policy: str) -> None:
+    expected = (GOLDEN_DIR / f"{bench}_{policy}.json").read_text()
+    result = run_benchmark(bench, policy, length=20_000, seed=0)
+    actual = result.to_json() + "\n"
+    if actual != expected:
+        # Pinpoint the first divergence rather than dumping two ~10 KB
+        # JSON blobs at each other.
+        idx = next(
+            (i for i, (a, b) in enumerate(zip(actual, expected)) if a != b),
+            min(len(actual), len(expected)),
+        )
+        lo, hi = max(0, idx - 60), idx + 60
+        pytest.fail(
+            f"{bench}/{policy} diverges from golden snapshot at byte "
+            f"{idx}:\n  golden:  ...{expected[lo:hi]!r}...\n"
+            f"  current: ...{actual[lo:hi]!r}..."
+        )
+
+
+def test_golden_snapshots_exist() -> None:
+    """The parametrized cells must cover every checked-in snapshot."""
+    snapshots = {p.stem for p in GOLDEN_DIR.glob("*.json")}
+    assert snapshots == {f"{b}_{p}" for b, p in CELLS}

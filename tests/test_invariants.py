@@ -165,7 +165,9 @@ def test_tampered_dram_writeback_counter_raises(checked_hierarchy):
 
 
 def test_negative_energy_raises(checked_hierarchy):
-    checked_hierarchy.l2.stats.energy.read_pj = -1.0
+    # Energy is deferred to event counters: corrupt the ledger at its
+    # source and the materialized read_pj goes negative.
+    checked_hierarchy.l2.stats.read_events[0] = -10 ** 6
     with pytest.raises(InvariantViolation) as exc:
         checked_hierarchy.simcheck.check()
     assert exc.value.invariant == "energy-monotonicity"
@@ -174,7 +176,8 @@ def test_negative_energy_raises(checked_hierarchy):
 
 def test_decreasing_energy_raises(checked_hierarchy):
     checked_hierarchy.simcheck.check()  # records the current floor
-    checked_hierarchy.l3.stats.energy.insertion_pj *= 0.5
+    stats = checked_hierarchy.l3.stats
+    stats.insert_events = [c // 2 for c in stats.insert_events]
     with pytest.raises(InvariantViolation) as exc:
         checked_hierarchy.simcheck.check()
     assert exc.value.invariant == "energy-monotonicity"

@@ -120,9 +120,9 @@ class TestNurapidPlacement:
         policy.fill(0)
         policy.fill(sets)
         set_idx, way = level.probe(0)
-        energy_before = level.stats.energy.movement_pj
+        energy_before = level.stats.materialize().energy.movement_pj
         policy.on_hit(set_idx, way)
-        assert level.stats.energy.movement_pj > energy_before
+        assert level.stats.materialize().energy.movement_pj > energy_before
 
 
 class TestLruPeaPlacement:

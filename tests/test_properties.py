@@ -111,7 +111,7 @@ def test_energy_monotone_nondecreasing(addresses):
             policy.fill(addr)
         else:
             level.record_hit(set_idx, way, False)
-        total = level.stats.energy.total_pj
+        total = level.stats.materialize().energy.total_pj
         assert total > last
         last = total
 
