@@ -39,6 +39,10 @@ fi
 
 stage "slip-lint (static checks)" python -m repro.analysis.lint src/
 
+# SLIP fast-path regression gate: re-time the slip_abp drive and fail
+# if it lands >20% above the mean recorded in BENCH_throughput.json.
+stage "throughput gate (slip_abp)" python scripts/throughput_gate.py
+
 # Determinism smoke: same figure, same seed, serial vs parallel must
 # emit byte-identical results once timing lines ([...]) are stripped.
 det_smoke() {

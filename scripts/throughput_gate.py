@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Throughput regression gate for the SLIP fast path.
+
+Re-times the ``slip_abp`` drive from the throughput microbenchmark and
+compares it against the mean recorded in ``BENCH_throughput.json`` at
+the repo root. Fails (exit 1) when the measured time exceeds the
+recorded mean by more than the tolerance (default 20%), which is how a
+reintroduced per-access allocation or a de-fused placement kernel shows
+up long before any paper figure moves.
+
+The measurement is best-of-N (default 3): on a shared machine the
+*minimum* is the statistic least polluted by co-tenant noise, and a
+genuine slowdown raises the minimum just the same.
+
+Usage::
+
+    python scripts/throughput_gate.py
+    python scripts/throughput_gate.py --tolerance 0.2 --repeats 3
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BENCH_JSON = os.path.join(REPO_ROOT, "BENCH_throughput.json")
+BENCH_NAME = "test_throughput_slip_abp"
+
+
+def recorded_mean_s(path: str) -> float:
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    for bench in payload["benchmarks"]:
+        if bench["name"] == BENCH_NAME:
+            return float(bench["stats"]["mean"])
+    raise KeyError(f"{BENCH_NAME} not found in {path}")
+
+
+def measure_best_s(repeats: int) -> float:
+    sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+    sys.path.insert(0, os.path.join(REPO_ROOT, "benchmarks"))
+    from bench_simulator_throughput import N, drive
+
+    best = float("inf")
+    drive("slip_abp")  # warmup: one-time import and allocator costs
+    for _ in range(repeats):
+        started = time.perf_counter()
+        accesses = drive("slip_abp")
+        elapsed = time.perf_counter() - started
+        if accesses != N:
+            raise AssertionError(f"drive returned {accesses}, want {N}")
+        best = min(best, elapsed)
+    return best
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--tolerance", type=float, default=0.20,
+                        help="allowed fraction above the recorded mean "
+                             "(default 0.20)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timed runs; the best is compared "
+                             "(default 3)")
+    parser.add_argument("--bench-json", default=BENCH_JSON,
+                        help="recorded benchmark file "
+                             "(default: repo-root BENCH_throughput.json)")
+    args = parser.parse_args(argv)
+
+    try:
+        recorded = recorded_mean_s(args.bench_json)
+    except (OSError, KeyError, ValueError) as exc:
+        print(f"throughput-gate: cannot read recorded mean: {exc}",
+              file=sys.stderr)
+        return 2
+
+    measured = measure_best_s(args.repeats)
+    limit = recorded * (1.0 + args.tolerance)
+    verdict = "OK" if measured <= limit else "FAIL"
+    print(f"throughput-gate: slip_abp best-of-{args.repeats} "
+          f"{measured * 1000:.1f} ms vs recorded mean "
+          f"{recorded * 1000:.1f} ms "
+          f"(limit {limit * 1000:.1f} ms): {verdict}")
+    return 0 if measured <= limit else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

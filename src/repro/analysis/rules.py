@@ -371,6 +371,39 @@ class MissingSlotsRule(Rule):
         return findings
 
 
+class EnergyAugAssignRule(Rule):
+    """SLIP007: float += onto a picojoule stats field."""
+
+    code = "SLIP007"
+    name = "energy-augmented-assign"
+    summary = ("augmented += onto a *_pj stats attribute in simulator "
+               "code; repeated float accumulation drifts from the exact "
+               "product — bump an integer event counter and materialize "
+               "the energy once at the stats boundary")
+
+    def applies_to(self, module):
+        return _in_packages(module, SIM_PACKAGES)
+
+    def check(self, tree, source, path, module):
+        findings = []
+        for node in ast.walk(tree):
+            if not (isinstance(node, ast.AugAssign)
+                    and isinstance(node.op, ast.Add)
+                    and isinstance(node.target, ast.Attribute)
+                    and node.target.attr.endswith("_pj")):
+                continue
+            target = _dotted_name(node.target) or node.target.attr
+            findings.append(self._finding(
+                path, node,
+                f"float accumulation onto {target}: sequential += "
+                f"drifts from the exact product (ULP error per add); "
+                f"count integer events and materialize energy once, or "
+                f"disable with a justification if the ledger has no "
+                f"event-count source of truth",
+            ))
+        return findings
+
+
 #: Registry, in code order. lint.py and the docs both derive from this.
 RULES: Tuple[Rule, ...] = (
     UnseededRngRule(),
@@ -379,6 +412,7 @@ RULES: Tuple[Rule, ...] = (
     MutableDefaultRule(),
     FloatSumRule(),
     MissingSlotsRule(),
+    EnergyAugAssignRule(),
 )
 
 

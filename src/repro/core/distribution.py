@@ -13,7 +13,12 @@ overflow, which also ages the statistics toward recent behaviour.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from typing import List, Sequence, Tuple
+
+#: Samples below which a distribution is considered cold; shared with
+#: the EOU so its memoized argmin and ``is_warm`` agree on one number.
+DEFAULT_WARM_SAMPLES = 4
 
 
 class ReuseDistanceDistribution:
@@ -36,6 +41,22 @@ class ReuseDistanceDistribution:
         self.counter_max = (1 << counter_bits) - 1
         self.counts: List[int] = [0] * (len(boundaries) + 1)
 
+    @classmethod
+    def fresh(cls, boundaries: Tuple[int, ...],
+              counter_max: int, num_bins: int) -> "ReuseDistanceDistribution":
+        """Positional hot constructor for pre-validated parameters.
+
+        The SLIP runtime builds one distribution per (page, level) on
+        first touch; re-validating the same boundary tuple and counter
+        width every time is measurable on the sampling path. Callers
+        pass values already checked by a prior ``__init__``.
+        """
+        self = cls.__new__(cls)
+        self.boundaries = boundaries
+        self.counter_max = counter_max
+        self.counts = [0] * num_bins
+        return self
+
     @property
     def num_bins(self) -> int:
         return len(self.counts)
@@ -47,19 +68,34 @@ class ReuseDistanceDistribution:
         return bits_per_counter * self.num_bins
 
     def bin_of(self, reuse_distance: int) -> int:
-        """Bin index for a reuse distance measured in cache lines."""
-        for idx, bound in enumerate(self.boundaries):
-            if reuse_distance < bound:
-                return idx
-        return len(self.boundaries)
+        """Bin index for a reuse distance measured in cache lines.
+
+        The boundaries are non-decreasing, so "first index whose bound
+        exceeds the distance" is exactly ``bisect_right``: the number of
+        boundaries at or below the distance. A linear boundary scan per
+        recorded sample is measurable on the sampling path.
+        """
+        return bisect_right(self.boundaries, reuse_distance)
 
     def record(self, reuse_distance: int) -> None:
-        """Count one access with the given reuse distance."""
-        self.record_bin(self.bin_of(reuse_distance))
+        """Count one access with the given reuse distance.
+
+        ``record_bin`` is inlined here and in :meth:`record_miss`: one
+        of the two runs per sampled hit and per L2/L3 demand miss, and
+        the extra frame is measurable on the sampling path.
+        """
+        counts = self.counts
+        bin_idx = bisect_right(self.boundaries, reuse_distance)
+        if counts[bin_idx] >= self.counter_max:
+            self.counts = counts = [c >> 1 for c in counts]
+        counts[bin_idx] += 1
 
     def record_miss(self) -> None:
         """Misses are assumed to have reuse distance beyond capacity."""
-        self.record_bin(self.num_bins - 1)
+        counts = self.counts
+        if counts[-1] >= self.counter_max:
+            self.counts = counts = [c >> 1 for c in counts]
+        counts[-1] += 1
 
     def record_bin(self, bin_idx: int) -> None:
         if self.counts[bin_idx] >= self.counter_max:
@@ -76,7 +112,7 @@ class ReuseDistanceDistribution:
             return tuple(1.0 / self.num_bins for _ in self.counts)
         return tuple(c / total for c in self.counts)
 
-    def is_warm(self, min_samples: int = 4) -> bool:
+    def is_warm(self, min_samples: int = DEFAULT_WARM_SAMPLES) -> bool:
         """Whether enough samples exist to trust the distribution."""
         return self.total() >= min_samples
 

@@ -10,14 +10,22 @@ minimum-energy SLIP, with ties resolved toward the lower SLIP id.
 The synthesized unit in the paper takes 2 cycles per optimization at
 2.4 GHz, is fully pipelined, and consumes 1.27 pJ per operation; those
 costs are charged through :class:`EouStats`.
+
+The software EOU memoizes its argmin: with B-bit counters and K+1 bins
+the input space holds at most ``2**(B*(K+1))`` distinct counter tuples
+(4-bit counters x <=5 bins in the evaluation), times two flags
+(``allow_abp`` and the bypass-evidence gate), so every recomputation
+after the first for a given key is a dict probe. The cache can never go
+stale: coefficients, the SLIP space and the evidence floor are all
+fixed at construction, and both inputs that vary are part of the key.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from .distribution import ReuseDistanceDistribution
+from .distribution import DEFAULT_WARM_SAMPLES, ReuseDistanceDistribution
 from .energy_model import SlipEnergyModel
 
 EOU_LATENCY_CYCLES = 2
@@ -25,11 +33,22 @@ EOU_LATENCY_CYCLES = 2
 
 @dataclass
 class EouStats:
-    """Cost accounting for EOU invocations."""
+    """Cost accounting for EOU invocations.
+
+    ``energy_pj`` is a materialized product, not an accumulated float:
+    the hot path only bumps the integer ``optimizations`` counter and
+    the published energy is always ``optimizations * energy_pj_per_op``
+    exactly — the same deferred-accounting rule the cache levels follow
+    (one rounding, independent of invocation count).
+    """
 
     optimizations: int = 0
-    energy_pj: float = 0.0
     tlb_block_cycles: int = 0
+    energy_pj_per_op: float = 1.27
+
+    @property
+    def energy_pj(self) -> float:
+        return self.optimizations * self.energy_pj_per_op
 
 
 class EnergyEvaluationUnit:
@@ -70,7 +89,29 @@ class EnergyOptimizerUnit:
             EnergyEvaluationUnit(slip_id, alpha)
             for slip_id, alpha in enumerate(quantized)
         ]
-        self.stats = EouStats()
+        # EEUs eligible under each (allow_abp, confident) combination;
+        # the filtering inside the argmin loop never changes, so it is
+        # hoisted out of it entirely.
+        space = self.space
+        num_sublevels = space.num_sublevels
+        self._eligible: Dict[Tuple[bool, bool],
+                             Tuple[EnergyEvaluationUnit, ...]] = {}
+        for allow_abp in (False, True):
+            for confident in (False, True):
+                self._eligible[(allow_abp, confident)] = tuple(
+                    eeu for eeu in self.eeus
+                    if (allow_abp or eeu.slip_id != space.abp_id)
+                    and (confident
+                         or space.slips[eeu.slip_id].num_sublevels_used
+                         >= num_sublevels)
+                )
+        # argmin memo: (counts tuple, allow_abp, confident) -> SLIP id.
+        self._memo: Dict[Tuple[Tuple[int, ...], bool, bool], int] = {}
+        self.stats = EouStats(energy_pj_per_op=energy_pj_per_op)
+
+    def reset_stats(self) -> None:
+        """Fresh counters; the argmin memo stays (it is input-pure)."""
+        self.stats = EouStats(energy_pj_per_op=self.energy_pj_per_op)
 
     @property
     def expected_energy_pj(self) -> float:
@@ -88,31 +129,48 @@ class EnergyOptimizerUnit:
         current sampling period, checked against ``min_abp_samples``;
         None means "plenty" (trust the distribution alone).
         """
-        counts = distribution.counts
-        self.stats.optimizations += 1
-        self.stats.energy_pj += self.energy_pj_per_op
-        self.stats.tlb_block_cycles += 1
-        # Cold distribution: behave exactly like a cache without SLIP.
-        if not distribution.is_warm():
-            return self.space.default_id
-        confident = (
+        stats = self.stats
+        stats.optimizations += 1
+        stats.tlb_block_cycles += 1
+        key = (
+            tuple(distribution.counts),
+            allow_abp,
             evidence_samples is None
-            or evidence_samples >= self.min_abp_samples
+            or evidence_samples >= self.min_abp_samples,
         )
-        num_sublevels = self.space.num_sublevels
+        slip_id = self._memo.get(key)
+        if slip_id is None:
+            slip_id = self._memo[key] = self._argmin(*key)
+        return slip_id
+
+    def optimize_direct(self, distribution: ReuseDistanceDistribution,
+                        allow_abp: bool = True,
+                        evidence_samples: Optional[int] = None) -> int:
+        """The un-memoized argmin, bypassing the cache and the stats.
+
+        Used by the memoization-equivalence tests and by SimCheck's
+        eou-memo invariant (a memo hit must equal a fresh argmin).
+        """
+        return self._argmin(
+            tuple(distribution.counts),
+            allow_abp,
+            evidence_samples is None
+            or evidence_samples >= self.min_abp_samples,
+        )
+
+    def _argmin(self, counts: Tuple[int, ...], allow_abp: bool,
+                confident: bool) -> int:
+        """Comparator tree over the eligible EEUs; pure in its inputs."""
+        # Cold distribution: behave exactly like a cache without SLIP.
+        if sum(counts) < DEFAULT_WARM_SAMPLES:
+            return self.space.default_id
         best_id, best_energy = None, None
-        for eeu in self.eeus:
-            if not allow_abp and eeu.slip_id == self.space.abp_id:
-                continue
-            if not confident and (
-                self.space.slips[eeu.slip_id].num_sublevels_used
-                < num_sublevels
-            ):
-                # Thin evidence: capacity-discarding policies (full or
-                # partial bypass) are off the table until the sampling
-                # period has gathered enough samples.
-                continue
-            energy = eeu.evaluate(counts)
+        for eeu in self._eligible[(allow_abp, confident)]:
+            # Thin evidence already filtered capacity-discarding
+            # policies (full or partial bypass) out of the pool.
+            energy = sum(
+                a * c for a, c in zip(eeu.coefficients, counts)
+            )
             if best_energy is None or energy < best_energy:
                 best_id, best_energy = eeu.slip_id, energy
         assert best_id is not None

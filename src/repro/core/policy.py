@@ -145,7 +145,7 @@ class SlipSpace:
         self.default_id = self._id_of[default_slip(self.num_sublevels)]
         self.abp_id = self._id_of[abp_slip()]
         # Precompute way tuples per (slip id, chunk index).
-        self._chunk_ways: List[Tuple[Tuple[int, ...], ...]] = []
+        chunk_ways: List[Tuple[Tuple[int, ...], ...]] = []
         for slip in self.slips:
             per_chunk = []
             for chunk in slip.chunks:
@@ -154,10 +154,31 @@ class SlipSpace:
                     start = sum(self.sublevel_ways[:sublevel])
                     ways.extend(range(start, start + self.sublevel_ways[sublevel]))
                 per_chunk.append(tuple(ways))
-            self._chunk_ways.append(tuple(per_chunk))
-        self._classes = tuple(
+            chunk_ways.append(tuple(per_chunk))
+        # Hot-path tables, indexed by SLIP id: the placement controller
+        # runs one fill per miss at every SLIP level, and indexing a
+        # tuple is measurably cheaper than a method call per frame.
+        self.chunk_ways_by_id: Tuple[Tuple[Tuple[int, ...], ...], ...] = \
+            tuple(chunk_ways)
+        self.num_chunks_by_id: Tuple[int, ...] = tuple(
+            len(per_chunk) for per_chunk in chunk_ways
+        )
+        self.class_by_id: Tuple[str, ...] = tuple(
             slip.classify(self.num_sublevels) for slip in self.slips
         )
+        # Every rotation of each SLIP's insertion (chunk 0) ways, in the
+        # exact visit order CacheLevel.choose_victim would produce for a
+        # given allocation-rotor value; the fused SLIP fill indexes
+        # ``orders[rotor % len(ways)]`` instead of slicing per fill.
+        # The ABP (no chunks) maps to an empty tuple, never indexed.
+        self.chunk0_orders_by_id: Tuple[Tuple[Tuple[int, ...], ...], ...] = \
+            tuple(
+                tuple(
+                    per_chunk[0][r:] + per_chunk[0][:r]
+                    for r in range(len(per_chunk[0]))
+                ) if per_chunk else ()
+                for per_chunk in chunk_ways
+            )
 
     def __len__(self) -> int:
         return len(self.slips)
@@ -170,10 +191,10 @@ class SlipSpace:
 
     def chunk_ways(self, slip_id: int, chunk_idx: int) -> Tuple[int, ...]:
         """Way indices composing one chunk of one SLIP."""
-        return self._chunk_ways[slip_id][chunk_idx]
+        return self.chunk_ways_by_id[slip_id][chunk_idx]
 
     def num_chunks(self, slip_id: int) -> int:
-        return len(self._chunk_ways[slip_id])
+        return self.num_chunks_by_id[slip_id]
 
     def cumulative_chunk_capacity(self, slip_id: int) -> Tuple[int, ...]:
         """Cumulative line capacity through each chunk of a SLIP."""
@@ -185,4 +206,4 @@ class SlipSpace:
         return tuple(out)
 
     def classify(self, slip_id: int) -> str:
-        return self._classes[slip_id]
+        return self.class_by_id[slip_id]

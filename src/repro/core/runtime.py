@@ -177,23 +177,36 @@ class SlipRuntime(BaselineRuntime):
                 ),
             )
         self.pages: Dict[int, SlipPageEntry] = {}
+        # Hot-path tables: one distribution per (page, level) is built
+        # on first touch and every demand access queries the page's
+        # policy, so the per-level constants are resolved once here
+        # rather than per page / per access.
+        bits = config.slip.bin_bits
+        counter_max = (1 << bits) - 1
+        self._dist_protos: Tuple[Tuple[str, Tuple[int, ...], int], ...] = \
+            tuple(
+                (name, self._boundaries(name),
+                 len(self._boundaries(name)) + 1)
+                for name in self.spaces
+            )
+        self._counter_max = counter_max
+        self._default_ids: Dict[str, int] = {
+            name: space.default_id for name, space in self.spaces.items()
+        }
 
     # ------------------------------------------------------------------
     # Page metadata lifecycle
     # ------------------------------------------------------------------
     def _new_entry(self) -> SlipPageEntry:
-        bits = self.config.slip.bin_bits
+        counter_max = self._counter_max
+        fresh = ReuseDistanceDistribution.fresh
         distributions = {
-            name: ReuseDistanceDistribution(
-                boundaries=self._boundaries(name), counter_bits=bits
-            )
-            for name in self.spaces
-        }
-        policies = {
-            name: space.default_id for name, space in self.spaces.items()
+            name: fresh(boundaries, counter_max, num_bins)
+            for name, boundaries, num_bins in self._dist_protos
         }
         return SlipPageEntry(
-            self.sampler.initial_state(), policies, distributions
+            self.sampler.initial_state(), dict(self._default_ids),
+            distributions,
         )
 
     def _boundaries(self, level_name: str) -> Tuple[int, ...]:
@@ -220,9 +233,25 @@ class SlipRuntime(BaselineRuntime):
         return line_addr >> self.block_shift
 
     def on_reference(self, page: int, line_addr: int) -> List[int]:
-        """TLB handling plus (in rd-block mode) SLIP-cache handling."""
+        """TLB handling plus (in rd-block mode) SLIP-cache handling.
+
+        The page-grain path mirrors ``BaselineRuntime.on_reference``
+        (TLB-hit probe inlined) rather than delegating to
+        :meth:`on_demand_access`: this runs once per simulated access
+        and the two call frames show up in profiles.
+        """
         if self.block_shift is None:
-            return self.on_demand_access(page)
+            tlb = self.tlb
+            pages = tlb._pages
+            if page in pages:
+                pages.move_to_end(page)
+                tlb.stats.hits += 1
+                return _NO_FETCHES
+            if not tlb.access(page):
+                self.stats.tlb_miss_fetches += 1
+                return [pte_line_address(page)] \
+                    + self._key_metadata_fetches(page)
+            return _NO_FETCHES  # pragma: no cover — access() saw a hit
         fetches = []
         if not self.tlb.access(page):
             self.stats.tlb_miss_fetches += 1
@@ -315,7 +344,7 @@ class SlipRuntime(BaselineRuntime):
         """
         entry = self.pages.get(page)
         if entry is None or entry.state is PageState.SAMPLING:
-            return self.spaces[level_name].default_id
+            return self._default_ids[level_name]
         return entry.policies[level_name]
 
     def is_sampling(self, page: int) -> bool:
@@ -323,6 +352,23 @@ class SlipRuntime(BaselineRuntime):
             return self.pages.get(page) is not None
         entry = self.pages.get(page)
         return entry is not None and entry.state is PageState.SAMPLING
+
+    def policy_and_sampling(self, level_name: str,
+                            page: int) -> Tuple[int, bool]:
+        """Fused ``(policy_for, is_sampling)`` in one page-table probe.
+
+        Every SLIP fill needs both answers, and they live on the same
+        page entry; two separate calls mean two dict probes plus two
+        dispatches per miss. Results are identical to the two separate
+        queries by construction.
+        """
+        entry = self.pages.get(page)
+        if entry is None:
+            return self._default_ids[level_name], False
+        if entry.state is PageState.SAMPLING:
+            return self._default_ids[level_name], True
+        return (entry.policies[level_name],
+                True if self.always_sample else False)
 
     # ------------------------------------------------------------------
     # Reuse-distance sample collection (Figure 7, step 5)
@@ -334,15 +380,21 @@ class SlipRuntime(BaselineRuntime):
 
     def record_reuse(self, level_name: str, page: int,
                      reuse_distance: int) -> None:
+        # _collecting() inlined: this runs once per sampled hit.
         entry = self.pages.get(page)
-        if self._collecting(entry):
+        if entry is not None and (
+            self.always_sample or entry.state is PageState.SAMPLING
+        ):
             entry.distributions[level_name].record(reuse_distance)
             if entry.period_samples < 63:
                 entry.period_samples += 1
 
     def record_miss_sample(self, level_name: str, page: int) -> None:
+        # _collecting() inlined: this runs once per L2/L3 demand miss.
         entry = self.pages.get(page)
-        if self._collecting(entry):
+        if entry is not None and (
+            self.always_sample or entry.state is PageState.SAMPLING
+        ):
             entry.distributions[level_name].record_miss()
             if entry.period_samples < 63:
                 entry.period_samples += 1

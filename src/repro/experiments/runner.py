@@ -180,7 +180,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.profile is not None and jobs > 1:
         # cProfile only sees this process; worker processes would hide
         # exactly the hot paths being profiled. Force a serial run.
-        print("[--profile forces --jobs 1]", file=sys.stderr)
+        print(f"[--profile forces --jobs 1; ignoring requested "
+              f"--jobs {jobs}]", file=sys.stderr)
         settings = dataclasses.replace(settings, jobs=1)
         jobs = 1
 

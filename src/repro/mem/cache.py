@@ -396,8 +396,10 @@ class CacheLevel:
         stats.move_read_events[self.sublevel_by_way[moved.from_way]] += 1
         stats.move_write_events[self.sublevel_by_way[way]] += 1
         # Kept live: the queue charge is an arbitrary per-event float
-        # from the placement policy, and movements are rare.
-        stats.energy.movement_queue_pj += movement_queue_pj
+        # from the placement policy, and movements are rare. Deferring
+        # it to an event count would also change accumulated-vs-product
+        # rounding and break golden byte-identity for no hot-path win.
+        stats.energy.movement_queue_pj += movement_queue_pj  # slip-lint: disable=SLIP007
         self.replacement.on_move_in(set_idx, way, line)
 
     def record_writeback_in(self, set_idx: int, way: int) -> None:

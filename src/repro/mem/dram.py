@@ -24,15 +24,27 @@ class Dram:
         self._latency = cfg.latency_cycles
 
     def read(self) -> int:
-        """Fetch one line; returns the access latency in cycles."""
-        stats = self.stats
-        stats.reads += 1
-        stats.energy_pj += self._energy_pj
+        """Fetch one line; returns the access latency in cycles.
+
+        Energy accounting is deferred like the cache levels': the hot
+        path bumps the integer access counter only, and
+        :meth:`materialize_energy` publishes ``energy_pj`` as one exact
+        ``accesses * per_line`` product at statistics boundaries.
+        """
+        self.stats.reads += 1
         return self._latency
 
     def write(self) -> int:
         """Write one line back; returns the access latency in cycles."""
-        stats = self.stats
-        stats.writes += 1
-        stats.energy_pj += self._energy_pj
+        self.stats.writes += 1
         return self._latency
+
+    def materialize_energy(self) -> DramStats:
+        """Fold the access counters into ``energy_pj``; returns stats.
+
+        Idempotent: the field is overwritten with the product, never
+        accumulated into, so every statistics boundary may call this.
+        """
+        stats = self.stats
+        stats.energy_pj = (stats.reads + stats.writes) * self._energy_pj
+        return stats

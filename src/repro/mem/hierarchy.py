@@ -45,8 +45,9 @@ def _fused_hit(level: CacheLevel, set_idx: int, way: int,
     """record_hit fused for a plain-LRU level outside SimCheck.
 
     Below L1 a demand hit is always a read (writes allocate at L1), and
-    the gating flags guarantee no metadata-energy tracking and a stock
-    LRU recency stamp.
+    the gating flag guarantees a stock LRU recency stamp. Metadata
+    energy tracking (the SLIP levels) stays a plain event-count bump,
+    so SLIP hierarchies take this path too.
     """
     line = level.sets[set_idx][way]
     line.hits += 1
@@ -58,6 +59,8 @@ def _fused_hit(level: CacheLevel, set_idx: int, way: int,
     sublevel = level.sublevel_by_way[way]
     stats.hits_by_sublevel[sublevel] += 1
     stats.read_events[sublevel] += 1
+    if level.track_metadata_energy:
+        stats.metadata_events += 1
     replacement = level.replacement
     replacement._clock += 1
     line.lru = replacement._clock
@@ -142,14 +145,8 @@ class MemoryHierarchy:
         # and L3 is fused into _access_below_l1. The hit fast path
         # additionally needs the stock LRU recency stamp.
         self._unchecked = self.simcheck is None
-        self._l2_hit_fast = (
-            self._unchecked and self.l2._plain_lru
-            and not self.l2.track_metadata_energy
-        )
-        self._l3_hit_fast = (
-            self._unchecked and self.l3._plain_lru
-            and not self.l3.track_metadata_energy
-        )
+        self._l2_hit_fast = self._unchecked and self.l2._plain_lru
+        self._l3_hit_fast = self._unchecked and self.l3._plain_lru
         # Baseline placements never react to hits; skip the no-op call.
         self._l2_onhit_noop = \
             type(self.l2_placement).on_hit is PlacementPolicy.on_hit
@@ -361,7 +358,7 @@ class MemoryHierarchy:
         self.runtime.stats = type(self.runtime.stats)()
         if getattr(self.runtime, "slip_enabled", False):
             for eou in self.runtime.eous.values():
-                eou.stats = type(eou.stats)()
+                eou.reset_stats()
 
     # ------------------------------------------------------------------
     def finalize(self) -> None:
@@ -380,10 +377,13 @@ class MemoryHierarchy:
 
         Idempotent (each call recomputes from the counters), so it is
         safe at every statistics boundary: finalize, collect_result,
-        and SimCheck's periodic energy audit.
+        and SimCheck's periodic energy audit. DRAM energy is deferred
+        the same way; EOU energy needs no folding — it is a property
+        computed from the optimization count on every read.
         """
         for level in (self.l1, self.l2, self.l3):
             level.stats.materialize()
+        self.dram.materialize_energy()
 
     # ------------------------------------------------------------------
     @property

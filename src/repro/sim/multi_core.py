@@ -49,6 +49,9 @@ class RoutedSlipRuntime:
     def is_sampling(self, page: int) -> bool:
         return self._owner(page).is_sampling(page)
 
+    def policy_and_sampling(self, level_name: str, page: int):
+        return self._owner(page).policy_and_sampling(level_name, page)
+
     def record_reuse(self, level_name: str, page: int,
                      reuse_distance: int) -> None:
         self._owner(page).record_reuse(level_name, page, reuse_distance)
@@ -224,13 +227,16 @@ def run_mix_traces(
     for hierarchy in hierarchies:
         hierarchy.l2.stats.materialize()
 
+    # Aggregate per-channel DRAM ledgers. Counts are integers; the
+    # energy total is assigned once via fsum over the materialized
+    # per-channel products rather than accumulated with += (SLIP007).
     dram = DramStats()
-    dram_accesses = 0
-    for hierarchy in hierarchies:
-        dram.reads += hierarchy.dram.stats.reads
-        dram.writes += hierarchy.dram.stats.writes
-        dram.energy_pj += hierarchy.dram.stats.energy_pj
-        dram_accesses += hierarchy.dram.stats.accesses
+    dram.reads = sum(h.dram.stats.reads for h in hierarchies)
+    dram.writes = sum(h.dram.stats.writes for h in hierarchies)
+    dram.energy_pj = math.fsum(
+        h.dram.stats.energy_pj for h in hierarchies
+    )
+    dram_accesses = sum(h.dram.stats.accesses for h in hierarchies)
 
     eou_pj = 0.0
     if slip:

@@ -230,6 +230,49 @@ def test_slip006_quiet_outside_sim_packages():
 
 
 # ----------------------------------------------------------------------
+# SLIP007 float += onto *_pj stats fields
+# ----------------------------------------------------------------------
+def test_slip007_triggers_on_pj_augassign():
+    assert "SLIP007" in codes("""
+        def charge(stats, read_pj):
+            stats.read_pj += read_pj
+    """)
+
+
+def test_slip007_triggers_on_nested_attribute_chain():
+    assert "SLIP007" in codes("""
+        def charge(level):
+            level.stats.energy.movement_queue_pj += 0.3
+    """)
+
+
+def test_slip007_quiet_on_event_counters_and_assignment():
+    found = codes("""
+        def charge(stats, events):
+            stats.read_events[0] += 1
+            stats.read_pj = stats.read_events[0] * 1.27
+            stats.read_pj -= 0.0
+    """)
+    assert "SLIP007" not in found
+
+
+def test_slip007_quiet_outside_sim_packages():
+    found = codes("""
+        def tally(report, cell):
+            report.total_pj += cell.total_pj
+    """, module=EXPERIMENTS_MODULE)
+    assert "SLIP007" not in found
+
+
+def test_slip007_pragma_suppresses():
+    found = codes("""
+        def complete(stats, lookup_pj):
+            stats.energy_pj += lookup_pj  # slip-lint: disable=SLIP007
+    """)
+    assert "SLIP007" not in found
+
+
+# ----------------------------------------------------------------------
 # Pragmas
 # ----------------------------------------------------------------------
 def test_line_pragma_suppresses_single_code():

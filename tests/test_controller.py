@@ -118,6 +118,27 @@ class TestCascade:
         outcome = controller.fill(sets, page=0)
         _, way = level.probe(0)
         assert way is None
+        assert outcome.inserted
+        # The departure is fully accounted (Figure 1 histogram).
+        assert sum(level.stats.reuse_histogram.values()) == 1
+
+    def test_general_path_enumerates_clean_evictions(self, tiny_system,
+                                                     space, runtime):
+        """The primitive-built fill reports clean evictions upward.
+
+        The fused fast path deliberately does not enumerate them (no
+        consumer reads them — same contract as the fused baseline
+        fill); the general path keeps the full report for SimCheck and
+        any future inclusion upkeep.
+        """
+        level, controller = make_controller(tiny_system, space, runtime)
+        level._fast_fill = False
+        force_policy(runtime, space, 0, Slip(((0,),)))
+        sets = level.cfg.sets
+        controller.fill(0, page=0)
+        outcome = controller.fill(sets, page=0)
+        _, way = level.probe(0)
+        assert way is None
         assert outcome.clean_evictions == [0]
 
     def test_dirty_eviction_produces_writeback(self, tiny_system, space,

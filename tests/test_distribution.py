@@ -165,3 +165,57 @@ def test_property_bin_respects_boundaries(distance):
         assert distance < BOUNDS[idx]
     if idx > 0:
         assert distance >= BOUNDS[idx - 1]
+
+
+# ----------------------------------------------------------------------
+# bin_of: the bisect implementation must match the definitional linear
+# scan ("first boundary strictly above the distance") everywhere,
+# including exact boundary hits and duplicated boundaries.
+# ----------------------------------------------------------------------
+def linear_bin_of(boundaries, reuse_distance):
+    for idx, bound in enumerate(boundaries):
+        if reuse_distance < bound:
+            return idx
+    return len(boundaries)
+
+
+@pytest.mark.parametrize("boundaries", [
+    (1,),
+    (1024,),
+    BOUNDS,
+    (1, 2, 3, 4),
+    (16, 16, 64),          # duplicate boundary: empty middle bin
+    (8, 8, 8),             # fully degenerate run
+    (0, 1024, 2048),       # zero boundary: bin 0 unreachable
+])
+def test_bin_of_matches_linear_reference(boundaries):
+    dist = ReuseDistanceDistribution(boundaries)
+    probes = {0, 1}
+    for bound in boundaries:
+        probes.update((bound - 1, bound, bound + 1))
+    probes.add(max(boundaries) * 1000)
+    for distance in sorted(p for p in probes if p >= 0):
+        assert dist.bin_of(distance) == linear_bin_of(
+            boundaries, distance
+        ), f"distance={distance} boundaries={boundaries}"
+
+
+def test_bin_of_duplicate_boundary_skips_empty_bin():
+    # With boundaries (16, 16, 64) no distance satisfies
+    # 16 <= d < 16, so bin 1 can never be selected.
+    dist = ReuseDistanceDistribution((16, 16, 64))
+    assert dist.bin_of(15) == 0
+    assert dist.bin_of(16) == 2
+    assert dist.bin_of(63) == 2
+    assert dist.bin_of(64) == 3
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=4096), min_size=1,
+             max_size=6),
+    st.integers(min_value=0, max_value=10 ** 6),
+)
+def test_property_bin_of_equals_linear_reference(raw_bounds, distance):
+    boundaries = tuple(sorted(raw_bounds))
+    dist = ReuseDistanceDistribution(boundaries)
+    assert dist.bin_of(distance) == linear_bin_of(boundaries, distance)

@@ -95,3 +95,90 @@ class TestEOU:
         dist.counts = [8, 8, 0]
         winners = [eou.optimize(dist) for _ in range(3)]
         assert len(set(winners)) == 1  # deterministic
+
+
+# ----------------------------------------------------------------------
+# Memoization equivalence: for every input, the memoized optimize()
+# (both the miss that populates the cache and the hit that reads it)
+# must return exactly what the un-memoized argmin computes.
+# ----------------------------------------------------------------------
+#: (chunk ways per sublevel, capacities, distribution boundaries,
+#:  min_abp_samples) — one entry per distinct SlipSpace shape.
+EQUIV_CONFIGS = [
+    ((4, 4, 8), (1024, 1024, 2048), (1024, 2048, 4096), 0),
+    ((2, 2), (16, 16), (16, 32), 0),
+    ((8,), (2048,), (2048,), 0),
+    ((4, 4, 8), (1024, 1024, 2048), (1024, 2048, 4096), 8),
+]
+
+VECTORS_PER_CONFIG = 1000
+
+
+def equiv_eou(chunks, caps, min_abp_samples):
+    space = SlipSpace(chunks, caps)
+    model = SlipEnergyModel(space, LevelEnergyParams(
+        caps, tuple(21.0 + 12.0 * i for i in range(len(caps))), 133.0,
+    ))
+    return EnergyOptimizerUnit(model, min_abp_samples=min_abp_samples)
+
+
+class TestMemoEquivalence:
+    @pytest.mark.parametrize(
+        "chunks,caps,bounds,min_abp", EQUIV_CONFIGS,
+        ids=lambda v: str(v).replace(" ", ""))
+    def test_randomized_vectors_match_direct(self, chunks, caps, bounds,
+                                             min_abp):
+        import random
+
+        rng = random.Random(20260805)
+        eou = equiv_eou(chunks, caps, min_abp)
+        num_bins = len(bounds) + 1
+        invocations = 0
+        for trial in range(VECTORS_PER_CONFIG):
+            # Bias one vector in eight toward tiny totals so the cold
+            # (< DEFAULT_WARM_SAMPLES) path and the evidence gate see
+            # real coverage instead of only saturated counters.
+            if trial % 8 == 0:
+                counts = [rng.randint(0, 1) for _ in range(num_bins)]
+            else:
+                counts = [rng.randint(0, 15) for _ in range(num_bins)]
+            dist = ReuseDistanceDistribution(bounds)
+            dist.counts = counts
+            allow_abp = trial % 3 != 2
+            evidence = (None, 0, 3, 7, 8, 63)[trial % 6]
+            expected = eou.optimize_direct(
+                dist, allow_abp=allow_abp, evidence_samples=evidence)
+            # Miss (populates the memo), then hit (reads it): both must
+            # agree with the fresh argmin, and both must be charged.
+            for _ in range(2):
+                got = eou.optimize(dist, allow_abp=allow_abp,
+                                   evidence_samples=evidence)
+                invocations += 1
+                assert got == expected, (
+                    counts, allow_abp, evidence, chunks, min_abp)
+        assert eou.stats.optimizations == invocations
+        assert eou.stats.energy_pj == invocations * 1.27
+        # The memo never outgrows its key space and actually hit.
+        assert 0 < len(eou._memo) <= invocations
+
+    def test_min_abp_samples_gate_blocks_thin_evidence(self):
+        eou = equiv_eou((4, 4, 8), (1024, 1024, 2048), 8)
+        miss_heavy = ReuseDistanceDistribution((1024, 2048, 4096))
+        miss_heavy.counts = [0, 0, 0, 15]
+        abp = eou.space.abp_id
+        assert eou.optimize(miss_heavy, evidence_samples=7) != abp
+        assert eou.optimize(miss_heavy, evidence_samples=8) == abp
+        assert eou.optimize(miss_heavy, evidence_samples=None) == abp
+        # The gate is part of the memo key: the gated and ungated
+        # answers coexist without evicting one another.
+        assert eou.optimize(miss_heavy, evidence_samples=7) != abp
+        assert eou.optimize_direct(miss_heavy, evidence_samples=7) != abp
+        assert eou.optimize_direct(miss_heavy, evidence_samples=8) == abp
+
+    def test_direct_bypasses_stats_and_memo(self):
+        eou = equiv_eou((2, 2), (16, 16), 0)
+        dist = ReuseDistanceDistribution((16, 32))
+        dist.counts = [8, 8, 0]
+        eou.optimize_direct(dist)
+        assert eou.stats.optimizations == 0
+        assert eou._memo == {}

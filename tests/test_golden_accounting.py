@@ -28,8 +28,10 @@ GOLDEN_DIR = pathlib.Path(__file__).parent / "data" / "golden_accounting"
 CELLS = [
     ("soplex", "baseline"),
     ("soplex", "slip"),
+    ("soplex", "slip_abp"),
     ("lbm", "baseline"),
     ("lbm", "slip"),
+    ("lbm", "slip_abp"),
 ]
 
 

@@ -187,13 +187,52 @@ def test_decreasing_energy_raises(checked_hierarchy):
 # ----------------------------------------------------------------------
 # EOU guards
 # ----------------------------------------------------------------------
-def test_eou_energy_ledger_mismatch_raises(checked_hierarchy):
+def test_eou_energy_property_refuses_accumulation(checked_hierarchy):
+    # The ledger is a materialized product now; the old corruption
+    # vector (drifting the accumulated float) no longer type-checks.
     eou = checked_hierarchy.runtime.eous["L2"]
-    eou.stats.energy_pj += 5.0
+    with pytest.raises(AttributeError):
+        eou.stats.energy_pj += 5.0
+
+
+def test_eou_cycle_ledger_mismatch_raises(checked_hierarchy):
+    eou = checked_hierarchy.runtime.eous["L2"]
+    eou.stats.tlb_block_cycles += 1
     with pytest.raises(InvariantViolation) as exc:
         checked_hierarchy.simcheck.check()
     assert exc.value.invariant == "eou-energy"
-    assert exc.value.counter == "energy_pj"
+    assert exc.value.counter == "tlb_block_cycles"
+
+
+def test_eou_lost_per_op_cost_raises(checked_hierarchy):
+    # The failure mode deferred EOU accounting introduces: a stats
+    # reset that drops the configured per-op energy (e.g. rebuilding
+    # the dataclass with defaults) silently rescales the whole ledger.
+    eou = checked_hierarchy.runtime.eous["L2"]
+    eou.stats.energy_pj_per_op = eou.energy_pj_per_op * 2
+    with pytest.raises(InvariantViolation) as exc:
+        checked_hierarchy.simcheck.check()
+    assert exc.value.invariant == "eou-energy"
+    assert exc.value.counter == "energy_pj_per_op"
+
+
+def test_eou_memo_corruption_raises(checked_hierarchy):
+    # Poison the argmin memo: the SimCheck optimize guard re-derives
+    # the answer with optimize_direct and must flag the stale entry.
+    from repro.core.distribution import ReuseDistanceDistribution
+
+    eou = checked_hierarchy.runtime.eous["L2"]
+    distribution = ReuseDistanceDistribution(
+        boundaries=tuple(range(1, eou.model.num_bins)))
+    for _ in range(8):
+        distribution.record(0)
+    good = eou.optimize(distribution)
+    key = next(k for k, v in eou._memo.items()
+               if k[0] == tuple(distribution.counts))
+    eou._memo[key] = (good + 1) % len(eou.space)
+    with pytest.raises(InvariantViolation) as exc:
+        eou.optimize(distribution)
+    assert exc.value.invariant == "eou-memo"
 
 
 def test_eou_rejects_negative_distribution(checked_hierarchy):
