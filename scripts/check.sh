@@ -39,9 +39,34 @@ fi
 
 stage "slip-lint (static checks)" python -m repro.analysis.lint src/
 
-# SLIP fast-path regression gate: re-time the slip_abp drive and fail
-# if it lands >20% above the mean recorded in BENCH_throughput.json.
-stage "throughput gate (slip_abp)" python scripts/throughput_gate.py
+# Throughput regression gates: re-time the slip_abp drive and the
+# serial (filtered-replay) sweep; fail if either lands >20% above the
+# mean recorded in BENCH_throughput.json.
+stage "throughput gate (slip_abp + sweep)" python scripts/throughput_gate.py
+
+# Filtered-replay smoke: one capture-through cell plus one replayed
+# SLIP cell must be byte-identical to their direct runs.
+filtered_smoke() {
+    python - <<'EOF'
+import json
+from repro.sim.filtered import run_trace_filtered
+from repro.sim.single_core import run_trace
+from repro.workloads.benchmarks import make_trace
+from repro.workloads.capture_store import MemoryCaptureStore
+
+trace = make_trace("soplex", 4000)
+store = MemoryCaptureStore()
+for policy in ("baseline", "slip_abp"):
+    direct = json.dumps(run_trace(trace, policy).to_json(),
+                        sort_keys=True)
+    filtered = json.dumps(
+        run_trace_filtered(trace, policy, store=store).to_json(),
+        sort_keys=True)
+    assert direct == filtered, f"{policy}: filtered != direct"
+assert len(store._entries) == 1, "capture was not shared"
+EOF
+}
+stage "filtered-replay smoke (filtered == direct)" filtered_smoke
 
 # Determinism smoke: same figure, same seed, serial vs parallel must
 # emit byte-identical results once timing lines ([...]) are stripped.

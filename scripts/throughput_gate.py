@@ -1,12 +1,19 @@
 #!/usr/bin/env python
 """Throughput regression gate for the SLIP fast path.
 
-Re-times the ``slip_abp`` drive from the throughput microbenchmark and
-compares it against the mean recorded in ``BENCH_throughput.json`` at
-the repo root. Fails (exit 1) when the measured time exceeds the
-recorded mean by more than the tolerance (default 20%), which is how a
-reintroduced per-access allocation or a de-fused placement kernel shows
-up long before any paper figure moves.
+Re-times two benchmarks from the throughput microbenchmark module and
+compares each against the mean recorded in ``BENCH_throughput.json``
+at the repo root:
+
+* the ``slip_abp`` drive — the per-access fast path; a reintroduced
+  per-access allocation or a de-fused placement kernel shows up here
+  long before any paper figure moves;
+* the serial sweep (``sweep(jobs=1)`` over the 2x3 benchmark/policy
+  grid) — the filtered-replay path; a broken capture store or a replay
+  falling back to direct simulation shows up here.
+
+Fails (exit 1) when either measurement exceeds its recorded mean by
+more than the tolerance (default 20%).
 
 The measurement is best-of-N (default 3): on a shared machine the
 *minimum* is the statistic least polluted by co-tenant noise, and a
@@ -29,30 +36,53 @@ import time
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 BENCH_JSON = os.path.join(REPO_ROOT, "BENCH_throughput.json")
 BENCH_NAME = "test_throughput_slip_abp"
+SWEEP_BENCH_NAME = "test_sweep_throughput_serial"
 
 
-def recorded_mean_s(path: str) -> float:
+def recorded_mean_s(path: str, name: str) -> float:
     with open(path, "r", encoding="utf-8") as handle:
         payload = json.load(handle)
     for bench in payload["benchmarks"]:
-        if bench["name"] == BENCH_NAME:
+        if bench["name"] == name:
             return float(bench["stats"]["mean"])
-    raise KeyError(f"{BENCH_NAME} not found in {path}")
+    raise KeyError(f"{name} not found in {path}")
+
+
+def _import_bench():
+    sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+    sys.path.insert(0, os.path.join(REPO_ROOT, "benchmarks"))
+    import bench_simulator_throughput
+
+    return bench_simulator_throughput
 
 
 def measure_best_s(repeats: int) -> float:
-    sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
-    sys.path.insert(0, os.path.join(REPO_ROOT, "benchmarks"))
-    from bench_simulator_throughput import N, drive
-
+    bench = _import_bench()
     best = float("inf")
-    drive("slip_abp")  # warmup: one-time import and allocator costs
+    bench.drive("slip_abp")  # warmup: one-time import/allocator costs
     for _ in range(repeats):
         started = time.perf_counter()
-        accesses = drive("slip_abp")
+        accesses = bench.drive("slip_abp")
         elapsed = time.perf_counter() - started
-        if accesses != N:
-            raise AssertionError(f"drive returned {accesses}, want {N}")
+        if accesses != bench.N:
+            raise AssertionError(
+                f"drive returned {accesses}, want {bench.N}")
+        best = min(best, elapsed)
+    return best
+
+
+def measure_best_sweep_s(repeats: int) -> float:
+    bench = _import_bench()
+    expected = bench.N * len(bench.SWEEP_GRID)
+    best = float("inf")
+    bench.sweep(1)  # warmup round also fills the capture store
+    for _ in range(repeats):
+        started = time.perf_counter()
+        accesses = bench.sweep(1)
+        elapsed = time.perf_counter() - started
+        if accesses != expected:
+            raise AssertionError(
+                f"sweep returned {accesses}, want {expected}")
         best = min(best, elapsed)
     return best
 
@@ -70,21 +100,27 @@ def main(argv=None) -> int:
                              "(default: repo-root BENCH_throughput.json)")
     args = parser.parse_args(argv)
 
-    try:
-        recorded = recorded_mean_s(args.bench_json)
-    except (OSError, KeyError, ValueError) as exc:
-        print(f"throughput-gate: cannot read recorded mean: {exc}",
-              file=sys.stderr)
-        return 2
-
-    measured = measure_best_s(args.repeats)
-    limit = recorded * (1.0 + args.tolerance)
-    verdict = "OK" if measured <= limit else "FAIL"
-    print(f"throughput-gate: slip_abp best-of-{args.repeats} "
-          f"{measured * 1000:.1f} ms vs recorded mean "
-          f"{recorded * 1000:.1f} ms "
-          f"(limit {limit * 1000:.1f} ms): {verdict}")
-    return 0 if measured <= limit else 1
+    gates = (
+        ("slip_abp", BENCH_NAME, measure_best_s),
+        ("sweep-serial", SWEEP_BENCH_NAME, measure_best_sweep_s),
+    )
+    failed = False
+    for label, name, measure in gates:
+        try:
+            recorded = recorded_mean_s(args.bench_json, name)
+        except (OSError, KeyError, ValueError) as exc:
+            print(f"throughput-gate: cannot read recorded mean: {exc}",
+                  file=sys.stderr)
+            return 2
+        measured = measure(args.repeats)
+        limit = recorded * (1.0 + args.tolerance)
+        verdict = "OK" if measured <= limit else "FAIL"
+        failed = failed or measured > limit
+        print(f"throughput-gate: {label} best-of-{args.repeats} "
+              f"{measured * 1000:.1f} ms vs recorded mean "
+              f"{recorded * 1000:.1f} ms "
+              f"(limit {limit * 1000:.1f} ms): {verdict}")
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

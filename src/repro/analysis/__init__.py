@@ -16,6 +16,7 @@ from .invariants import (
     HierarchyInvariantChecker,
     InvariantViolation,
     LevelChecker,
+    check_capture_replay,
     check_period,
     invariants_enabled,
     maybe_install,
@@ -38,6 +39,7 @@ __all__ = [
     "HierarchyInvariantChecker",
     "InvariantViolation",
     "LevelChecker",
+    "check_capture_replay",
     "check_period",
     "invariants_enabled",
     "lint_paths",

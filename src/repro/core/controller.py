@@ -31,7 +31,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from ..mem.cache import CacheLevel, EvictedLine
+from ..mem.cache import INVALID_LINE, CacheLevel, EvictedLine, Line
 from ..mem.stats import REUSE_KEYS
 from ..policies.base import FillOutcome, PlacementPolicy
 from .policy import SlipSpace
@@ -87,6 +87,15 @@ class SlipPlacement(PlacementPolicy):
         self._sublevel_by_way = level.sublevel_by_way
         self._track_meta = level.track_metadata_energy
         self._replacement = level.replacement
+        # Fused-fill page probe: the page table dict, the always-sample
+        # flag and this level's default SLIP id are all stable for the
+        # runtime's lifetime, so bind them once and skip the
+        # policy_and_sampling dispatch on every fill.
+        runtime = self._paged_runtime
+        if runtime is not None:
+            self._pages = runtime.pages
+            self._always_sample = runtime.always_sample
+            self._level_default_id = runtime._default_ids[self._level_name]
 
     # ------------------------------------------------------------------
     def _slip_for(self, page: int, is_metadata: bool) -> int:
@@ -106,6 +115,17 @@ class SlipPlacement(PlacementPolicy):
         runtime = self.runtime
         if is_metadata or runtime is None or page < 0:
             slip_id, sampling = self._default_id, False
+        elif self._paged_runtime is not None:
+            # policy_and_sampling inlined over the prebound page table
+            # (identical decision sequence, one dict probe, no call).
+            entry = self._pages.get(page)
+            if entry is None:
+                slip_id, sampling = self._level_default_id, False
+            elif entry.state is PageState.SAMPLING:
+                slip_id, sampling = self._level_default_id, True
+            else:
+                slip_id = entry.policies[self._level_name]
+                sampling = self._always_sample
         else:
             slip_id, sampling = runtime.policy_and_sampling(
                 self._level_name, page
@@ -173,6 +193,10 @@ class SlipPlacement(PlacementPolicy):
         else:
             level.valid_count += 1
             outcome = _INSERTED
+            if victim is INVALID_LINE:
+                # First fill of this way: materialize a real Line in
+                # place of the shared invalid sentinel.
+                victim = lines[victim_way] = Line()
 
         # ----- installation (inlined place_fill over the reused Line;
         # every slot the general path's reset() clears is re-set) -----

@@ -15,8 +15,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..sim.config import SystemConfig, default_system
+from ..sim.filtered import run_trace_filtered
 from ..sim.results import RunResult
-from ..sim.single_core import run_trace
 from ..workloads.benchmarks import SPEC_ORDER, make_trace
 
 ALL_POLICIES: Tuple[str, ...] = (
@@ -122,7 +122,9 @@ class SweepCache:
     def result(self, benchmark: str, policy: str) -> RunResult:
         key = (benchmark, policy)
         if key not in self._results:
-            self._results[key] = run_trace(
+            # Filtered capture/replay: cells sharing a runtime kind
+            # reuse one captured front end (byte-identical results).
+            self._results[key] = run_trace_filtered(
                 self.trace(benchmark),
                 policy,
                 config=self.config,

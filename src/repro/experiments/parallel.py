@@ -27,9 +27,9 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..sim.config import SystemConfig
+from ..sim.filtered import run_trace_filtered
 from ..sim.multi_core import MulticoreResult, run_mix
 from ..sim.results import RunResult
-from ..sim.single_core import run_trace
 from ..workloads.benchmarks import make_trace
 
 #: Environment variable read when no explicit worker count is given.
@@ -142,7 +142,10 @@ def execute_request(request: Request) -> JobResult:
         )
     else:
         trace = make_trace(request.benchmark, request.length, request.seed)
-        result = run_trace(
+        # Filtered capture/replay: workers consult the capture store
+        # (in-memory, or the shared on-disk store when
+        # REPRO_CAPTURE_DIR is set) before simulating the front end.
+        result = run_trace_filtered(
             trace,
             request.policy,
             config=request.config,

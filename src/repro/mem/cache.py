@@ -70,6 +70,14 @@ class Line:
         self.outcome = False
 
 
+#: The shared never-valid line every way aliases until its first fill.
+#: Install sites must materialize a real Line (``line is INVALID_LINE``
+#: identity check) before writing; readers only ever consult the slots
+#: ``Line.__init__`` sets on an invalid line, so aliasing is invisible
+#: to victim scans, probes and invariant sweeps.
+INVALID_LINE = Line()
+
+
 class EvictedLine:
     """Snapshot of a line leaving a way, handed to the placement policy."""
 
@@ -123,8 +131,16 @@ class CacheLevel:
         # Rotating start offset for invalid-way allocation scans.
         self._alloc_rotor = 0
         self.num_sets = cfg.sets
+        # Lazy line materialization: every way starts aliased to the
+        # shared INVALID_LINE sentinel (a hierarchy allocates tens of
+        # thousands of lines, most of which a short run never fills —
+        # L3 especially). The install sites (place_fill/place_moved and
+        # the fused fills) swap in a real Line on first use; nothing
+        # else ever mutates an invalid line, so the sentinel stays
+        # pristine. Each row is still a distinct list (slots are
+        # replaced in place).
         self.sets: List[List[Line]] = [
-            [Line() for _ in range(cfg.ways)] for _ in range(cfg.sets)
+            [INVALID_LINE] * cfg.ways for _ in range(cfg.sets)
         ]
         # tag -> way index per set, kept in sync by every placement
         # primitive; makes probe O(1) instead of an associative scan.
@@ -339,6 +355,8 @@ class CacheLevel:
         line = self.sets[set_idx][way]
         if line.valid:
             raise RuntimeError("place_fill into a valid way; extract first")
+        if line is INVALID_LINE:
+            line = self.sets[set_idx][way] = Line()
         line.valid = True
         line.tag = line_addr
         self._index[set_idx][line_addr] = way
@@ -373,6 +391,8 @@ class CacheLevel:
         line = self.sets[set_idx][way]
         if line.valid:
             raise RuntimeError("place_moved into a valid way; extract first")
+        if line is INVALID_LINE:
+            line = self.sets[set_idx][way] = Line()
         line.valid = True
         line.tag = moved.tag
         self._index[set_idx][moved.tag] = way

@@ -18,7 +18,7 @@ from typing import List, Optional, Tuple
 from ..analysis.invariants import maybe_install
 from ..policies.base import PlacementPolicy
 from ..policies.baseline import BaselinePlacement
-from ..sim.config import SystemConfig
+from ..sim.config import SystemConfig, line_to_page_shift
 from .cache import CacheLevel
 from .dram import Dram
 from .replacement import LruReplacement, ReplacementPolicy
@@ -38,45 +38,6 @@ class HierarchyCounters:
     @property
     def dram_reads(self) -> int:
         return self.dram_demand_reads + self.dram_metadata_reads
-
-
-def _fused_hit(level: CacheLevel, set_idx: int, way: int,
-               is_metadata: bool) -> int:
-    """record_hit fused for a plain-LRU level outside SimCheck.
-
-    Below L1 a demand hit is always a read (writes allocate at L1), and
-    the gating flag guarantees a stock LRU recency stamp. Metadata
-    energy tracking (the SLIP levels) stays a plain event-count bump,
-    so SLIP hierarchies take this path too.
-    """
-    line = level.sets[set_idx][way]
-    line.hits += 1
-    stats = level.stats
-    if is_metadata:
-        stats.metadata_hits += 1
-    else:
-        stats.demand_hits += 1
-    sublevel = level.sublevel_by_way[way]
-    stats.hits_by_sublevel[sublevel] += 1
-    stats.read_events[sublevel] += 1
-    if level.track_metadata_energy:
-        stats.metadata_events += 1
-    replacement = level.replacement
-    replacement._clock += 1
-    line.lru = replacement._clock
-    return level.latency_by_way[way]
-
-
-def _fused_miss(level: CacheLevel, is_metadata: bool) -> int:
-    """record_miss fused for any level outside SimCheck."""
-    stats = level.stats
-    if is_metadata:
-        stats.metadata_misses += 1
-    else:
-        stats.demand_misses += 1
-    if level.track_metadata_energy:
-        stats.metadata_events += 1
-    return level.cfg.latency_cycles
 
 
 class MemoryHierarchy:
@@ -123,11 +84,9 @@ class MemoryHierarchy:
 
         self.dram = Dram(config.dram)
         self.counters = HierarchyCounters()
-        # page number = line address >> log2(lines per page)
-        shift, lines = 0, config.lines_per_page
-        while (1 << shift) < lines:
-            shift += 1
-        self._page_shift = shift
+        # page number = line address >> log2(lines per page); the shift
+        # is shared with trace footprint reporting via config.
+        self._page_shift = line_to_page_shift(config.lines_per_page)
         # SimCheck: no-op unless REPRO_CHECK_INVARIANTS is set, in which
         # case conservation/consistency checkers wrap this hierarchy.
         self.simcheck = maybe_install(self, l3_shared=shared_l3 is not None)
@@ -240,20 +199,45 @@ class MemoryHierarchy:
     # ------------------------------------------------------------------
     def _access_below_l1(self, line_addr: int, is_metadata: bool,
                          page: int) -> int:
-        """Access L2 -> L3 -> DRAM; fill missing levels on the way back."""
+        """Access L2 -> L3 -> DRAM; fill missing levels on the way back.
+
+        Runs once per L2-visible event (demand miss or metadata fetch),
+        both in direct runs and in filtered replay, so the fused
+        hit/miss accounting is inlined bodily: below L1 a demand hit is
+        always a read (writes allocate at L1), the ``_l*_hit_fast``
+        flags guarantee a stock LRU recency stamp, and metadata energy
+        tracking (the SLIP levels) is a plain event-count bump. Under
+        SimCheck the instance-method ``record_*`` calls are taken
+        instead so the wrappers observe every event.
+        """
         latency = 0
         runtime = self.runtime
 
         # ----- L2 ----- (tick and probe are inlined: SimCheck never
-        # wraps them, while the record_* accounting stays behind
-        # instance-method calls so its wrappers observe every event.)
+        # wraps them.)
         l2 = self.l2
         l2.access_counter = (l2.access_counter + 1) % l2.timestamp_wrap
         set_idx = line_addr % l2.num_sets
         way = l2._index[set_idx].get(line_addr)
         if way is not None:
             if self._l2_hit_fast:
-                latency += _fused_hit(l2, set_idx, way, is_metadata)
+                # Fused record_hit.
+                line = l2.sets[set_idx][way]
+                line.hits += 1
+                stats = l2.stats
+                if is_metadata:
+                    stats.metadata_hits += 1
+                else:
+                    stats.demand_hits += 1
+                sublevel = l2.sublevel_by_way[way]
+                stats.hits_by_sublevel[sublevel] += 1
+                stats.read_events[sublevel] += 1
+                if l2.track_metadata_energy:
+                    stats.metadata_events += 1
+                lru = l2.replacement
+                lru._clock += 1
+                line.lru = lru._clock
+                latency += l2.latency_by_way[way]
                 if not self._l2_onhit_noop:
                     self.l2_placement.on_hit(set_idx, way)
             else:
@@ -262,7 +246,15 @@ class MemoryHierarchy:
                 self.l2_placement.on_hit(set_idx, way)
             return latency
         if self._unchecked:
-            latency += _fused_miss(l2, is_metadata)
+            # Fused record_miss.
+            stats = l2.stats
+            if is_metadata:
+                stats.metadata_misses += 1
+            else:
+                stats.demand_misses += 1
+            if l2.track_metadata_energy:
+                stats.metadata_events += 1
+            latency += l2.cfg.latency_cycles
         else:
             latency += l2.record_miss(is_metadata)
         if not is_metadata and runtime.slip_enabled:
@@ -276,7 +268,23 @@ class MemoryHierarchy:
         l3_hit = l3_way is not None
         if l3_hit:
             if self._l3_hit_fast:
-                latency += _fused_hit(l3, l3_set, l3_way, is_metadata)
+                # Fused record_hit.
+                line = l3.sets[l3_set][l3_way]
+                line.hits += 1
+                stats = l3.stats
+                if is_metadata:
+                    stats.metadata_hits += 1
+                else:
+                    stats.demand_hits += 1
+                sublevel = l3.sublevel_by_way[l3_way]
+                stats.hits_by_sublevel[sublevel] += 1
+                stats.read_events[sublevel] += 1
+                if l3.track_metadata_energy:
+                    stats.metadata_events += 1
+                lru = l3.replacement
+                lru._clock += 1
+                line.lru = lru._clock
+                latency += l3.latency_by_way[l3_way]
                 if not self._l3_onhit_noop:
                     self.l3_placement.on_hit(l3_set, l3_way)
             else:
@@ -285,7 +293,15 @@ class MemoryHierarchy:
                 self.l3_placement.on_hit(l3_set, l3_way)
         else:
             if self._unchecked:
-                latency += _fused_miss(l3, is_metadata)
+                # Fused record_miss.
+                stats = l3.stats
+                if is_metadata:
+                    stats.metadata_misses += 1
+                else:
+                    stats.demand_misses += 1
+                if l3.track_metadata_energy:
+                    stats.metadata_events += 1
+                latency += l3.cfg.latency_cycles
             else:
                 latency += l3.record_miss(is_metadata)
             if not is_metadata and runtime.slip_enabled:

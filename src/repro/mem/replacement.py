@@ -11,6 +11,7 @@ that sublevel, which preserves scan and thrash resistance).
 from __future__ import annotations
 
 import random
+import weakref
 from abc import ABC, abstractmethod
 from typing import List, Sequence, TYPE_CHECKING
 
@@ -22,7 +23,19 @@ class ReplacementPolicy(ABC):
     """Victim selection and recency bookkeeping for one cache level."""
 
     def attach(self, level: "CacheLevel") -> None:
-        self.level = level
+        # Weak back-reference. The level holds its replacement policy
+        # strongly; a strong reverse edge would make every CacheLevel
+        # graph cyclic, handing the level's entire (large) Line
+        # population to the cyclic collector instead of plain
+        # refcounting — measurable as gen-2 pause jitter in sweeps
+        # that build and drop one hierarchy per cell.
+        self._level_ref = weakref.ref(level)
+
+    @property
+    def level(self) -> "CacheLevel":
+        level = self._level_ref()
+        assert level is not None, "replacement used after level death"
+        return level
 
     @abstractmethod
     def on_hit(self, set_idx: int, way: int, line: "Line") -> None:

@@ -9,7 +9,7 @@ way and stays there.
 from __future__ import annotations
 
 from .base import FillOutcome, PlacementPolicy
-from ..mem.cache import NO_CHUNK
+from ..mem.cache import INVALID_LINE, NO_CHUNK, Line
 from ..mem.stats import REUSE_KEYS
 
 _INF = float("inf")
@@ -96,6 +96,10 @@ class BaselinePlacement(PlacementPolicy):
         else:
             level.valid_count += 1
             outcome = _INSERTED
+            if victim is INVALID_LINE:
+                # First fill of this way: materialize a real Line in
+                # place of the shared invalid sentinel.
+                victim = lines[victim_way] = Line()
 
         # ----- installation (inlined place_fill over the reused Line;
         # every slot the general path's reset() clears is re-set) -----

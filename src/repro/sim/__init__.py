@@ -19,6 +19,11 @@ from .config import (
 _LAZY = {
     "POLICY_NAMES": ("repro.sim.build", "POLICY_NAMES"),
     "build_hierarchy": ("repro.sim.build", "build_hierarchy"),
+    "runtime_kind": ("repro.sim.build", "runtime_kind"),
+    "capture_front_end": ("repro.sim.filtered", "capture_front_end"),
+    "replay_capture": ("repro.sim.filtered", "replay_capture"),
+    "run_trace_capturing": ("repro.sim.filtered", "run_trace_capturing"),
+    "run_trace_filtered": ("repro.sim.filtered", "run_trace_filtered"),
     "MulticoreResult": ("repro.sim.multi_core", "MulticoreResult"),
     "run_mix": ("repro.sim.multi_core", "run_mix"),
     "RunResult": ("repro.sim.results", "RunResult"),

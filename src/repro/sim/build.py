@@ -27,6 +27,46 @@ POLICY_NAMES: Tuple[str, ...] = (
     "baseline", "nurapid", "lru_pea", "slip", "slip_abp",
 )
 
+#: Which MMU runtime each policy builds. Policies sharing a kind also
+#: share a policy-invariant front end (TLB behaviour and L1 leg), which
+#: is what :mod:`repro.sim.filtered` exploits to capture it once.
+RUNTIME_KINDS: Dict[str, str] = {
+    "baseline": "baseline",
+    "nurapid": "baseline",
+    "lru_pea": "baseline",
+    "slip": "slip",
+    "slip_abp": "slip",
+}
+
+
+def runtime_kind(policy: str) -> str:
+    """``"baseline"`` or ``"slip"`` for a known policy name."""
+    try:
+        return RUNTIME_KINDS[policy.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown policy {policy!r}; expected one of {POLICY_NAMES}"
+        ) from None
+
+
+def maybe_boost_sampler(runtime, enabled: bool = True) -> bool:
+    """Apply the short-trace warmup sampling boost to a SLIP runtime.
+
+    Scale compensation: our traces are ~1000x shorter than the paper's
+    500M-instruction SimPoints, so with Nsamp=16/Nstab=256 most pages
+    would never finish learning. Scaling both by 8 (to 2/32) shortens
+    the page-learning timescale while keeping the distribution-fetch
+    fraction Nsamp/(Nsamp+Nstab) at the paper's 5.9% exactly, so
+    metadata-traffic results stay faithful. Shared by the direct and
+    filtered-replay drivers so both configure the sampler identically.
+    Returns True when the boost was applied.
+    """
+    if not (enabled and getattr(runtime, "slip_enabled", False)):
+        return False
+    sampler = runtime.sampler
+    sampler.nsamp, sampler.nstab = 2, 32
+    return True
+
 
 def build_hierarchy(
     config: SystemConfig,

@@ -19,6 +19,22 @@ PAGE_SIZE_BYTES = 4096
 LINES_PER_PAGE = PAGE_SIZE_BYTES // LINE_SIZE_BYTES
 
 
+def line_to_page_shift(lines_per_page: int = LINES_PER_PAGE) -> int:
+    """Right-shift turning a line address into its page number.
+
+    The one shared definition of the page grain: the hierarchy derives
+    its ``_page_shift`` from here (via ``SystemConfig.lines_per_page``)
+    and trace footprint reporting uses the same hook, so a non-4KB-page
+    config cannot silently disagree with the simulator about what a
+    "page" is. ``lines_per_page`` is rounded up to the next power of
+    two, matching the hierarchy's historical derivation.
+    """
+    shift = 0
+    while (1 << shift) < lines_per_page:
+        shift += 1
+    return shift
+
+
 @dataclass(frozen=True)
 class CacheLevelConfig:
     """Geometry, latency and energy of one cache level.

@@ -1,0 +1,624 @@
+"""Filtered-trace capture/replay: skip the policy-invariant front end.
+
+Every sweep cell re-simulates the full trace, yet the front end of
+:meth:`~repro.mem.hierarchy.MemoryHierarchy.access` — the
+``runtime.on_reference`` TLB handling, the profile-key derivation and
+the whole L1 leg — is identical for every policy; only the L2/L3 back
+end (and, for SLIP, the live metadata stream) differs. This module
+captures that front end once per (trace, front-end fingerprint) and
+then *replays* only the L1->L2 boundary events per policy cell,
+producing a :class:`~repro.sim.results.RunResult` whose ``to_json()``
+is byte-identical to a direct
+:func:`~repro.sim.single_core.run_trace`.
+
+Captures come from one of two passes:
+
+* **Capture-through** (:func:`run_trace_capturing`): a direct run of a
+  baseline-runtime-kind cell (baseline / nurapid / lru_pea) with thin
+  recording wrappers around ``_access_below_l1`` /
+  ``_writeback_below_l1`` that delegate to the real methods. The cell's
+  own result comes out of the very same run, so the first cell of a
+  sweep pays only the (small) recording overhead, not a separate pass.
+* **Capture pass** (:func:`capture_front_end`): when the first cell to
+  miss the store is a SLIP cell, a baseline hierarchy is driven with
+  the below-L1 entry points *shadowed* by recorders returning zero
+  latency — front-end accounting is still produced by exactly the code
+  a direct run executes, and ``counters.total_latency_cycles`` at the
+  end is precisely the frozen L1-side latency.
+
+The captured stream is **runtime-kind invariant** — TLB hit/miss
+positions are one page-grain probe per access regardless of runtime,
+and the back end never feeds back into L1 or TLB state — so one
+capture per (trace digest, L1 geometry, TLB size, warmup split, seed)
+serves every policy; the fingerprint deliberately excludes the runtime
+kind, sampler parameters and all back-end knobs:
+
+* For the **baseline runtime kind** the metadata stream is a pure
+  function of the TLB, so the flat captured event stream is replayed
+  verbatim against a fresh back end and the frozen runtime/TLB stats
+  are restored as-is.
+* For the **slip runtime kind** (slip / slip_abp) the metadata stream
+  depends on back-end feedback (reuse samples drive the page state
+  machine), so the :class:`~repro.core.runtime.SlipRuntime` runs live:
+  the replay merge-walks the captured TLB-miss and L1-miss positions,
+  re-issuing the runtime's TLB-miss path at exactly the captured
+  positions; the sampler RNG draws once per TLB miss in both direct
+  and replayed runs, so the RNG stream is preserved.
+
+Frozen front-end statistics (L1 LevelStats, TLB and runtime stats,
+latency/hit counters) are merged back before ``finalize()``; the
+restored L1 stats carry no energy tables, so materialization leaves
+the frozen energy figures untouched.
+
+Replay is bypassed (falling back to the direct path) when SimCheck is
+enabled (``REPRO_CHECK_INVARIANTS``: the invariant wrappers observe
+per-access events a replay does not generate), when the Section 7
+rd-block extension is active for a SLIP policy (the SLIP-cache miss
+stream is not captured), when per-level energy overrides are supplied
+(frozen L1 energy would not reflect them), or when
+``REPRO_FILTERED=0``. Every replay ends with the always-on
+``capture-replay-conservation`` invariant
+(:func:`repro.analysis.invariants.check_capture_replay`).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import asdict
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..analysis.invariants import check_capture_replay, invariants_enabled
+from ..core.energy_model import LevelEnergyParams
+from ..core.runtime import RuntimeStats
+from ..mem.stats import EnergyBreakdown, LevelStats
+from ..mem.tlb import TlbStats, pte_line_address
+from ..workloads.capture_store import (
+    OP_DEMAND_MISS,
+    OP_METADATA,
+    OP_WRITEBACK,
+    CAPTURE_VERSION,
+    CaptureError,
+    TraceCapture,
+    default_store,
+    fingerprint_key,
+    trace_content_digest,
+)
+from ..workloads.trace import Trace
+from .build import build_hierarchy, maybe_boost_sampler, runtime_kind
+from .config import SystemConfig, default_system
+from .results import RunResult, collect_result
+from .single_core import run_trace
+from .timing import execution_time
+
+_FILTERED_ENV = "REPRO_FILTERED"
+_FALSEY = ("0", "false", "no", "off")
+
+
+def filtered_enabled() -> bool:
+    """Filtered replay is on unless ``REPRO_FILTERED`` disables it."""
+    return os.environ.get(_FILTERED_ENV, "").strip().lower() not in _FALSEY
+
+
+# ----------------------------------------------------------------------
+# Fingerprinting
+# ----------------------------------------------------------------------
+def front_end_fingerprint(
+    trace: Trace,
+    config: SystemConfig,
+    seed: int,
+    warmup_fraction: float,
+) -> Dict:
+    """Everything that can influence the captured front end.
+
+    Deliberately *not* the full config hash: back-end knobs (L2/L3
+    geometry and energies, DRAM, replacement ablations), the runtime
+    kind and the sampler parameters never reach the L1 leg or the TLB
+    probe sequence, so sweeps over them all share one capture. SLIP
+    replays rebuild their runtime live from ``seed`` and the config.
+    """
+    return {
+        "version": CAPTURE_VERSION,
+        "trace": {
+            "digest": trace_content_digest(trace),
+            "length": len(trace),
+        },
+        "l1": asdict(config.l1),
+        "l1_replacement": "lru",  # the hierarchy hard-wires L1 to LRU
+        "tlb_entries": config.tlb_entries,
+        "lines_per_page": config.lines_per_page,
+        "timestamp_bits": config.slip.timestamp_bits,
+        "warmup_fraction": warmup_fraction,
+        "seed": seed,
+    }
+
+
+# ----------------------------------------------------------------------
+# Capture assembly (shared by both capture modes)
+# ----------------------------------------------------------------------
+def _assemble_capture(
+    hierarchy,
+    n: int,
+    warmup: int,
+    event_boundary: int,
+    ops: List[int],
+    addrs: List[int],
+    miss_pos: List[int],
+    miss_wb: List[int],
+    tlb_pos: List[int],
+    l1_latency_cycles: int,
+) -> TraceCapture:
+    """Freeze the front-end statistics and pack the event arrays."""
+    measured = ops[event_boundary:]
+    counters = hierarchy.counters
+    frozen = {
+        "l1": asdict(hierarchy.l1.stats),
+        "runtime": asdict(hierarchy.runtime.stats),
+        "tlb": asdict(hierarchy.runtime.tlb.stats),
+        "l1_latency_cycles": l1_latency_cycles,
+        "l1_hits": counters.l1_hits,
+        "demand_accesses": counters.demand_accesses,
+        "event_counts": {
+            "demand": measured.count(OP_DEMAND_MISS),
+            "metadata": measured.count(OP_METADATA),
+            "writeback": measured.count(OP_WRITEBACK),
+        },
+    }
+    return TraceCapture(
+        n=n,
+        warmup=warmup,
+        event_boundary=event_boundary,
+        ops=np.asarray(ops, dtype=np.uint8),
+        addrs=np.asarray(addrs, dtype=np.int64),
+        l1_miss_pos=np.asarray(miss_pos, dtype=np.int64),
+        l1_miss_wb=np.asarray(miss_wb, dtype=np.int64),
+        tlb_miss_pos=np.asarray(tlb_pos, dtype=np.int64),
+        frozen=frozen,
+    )
+
+
+# ----------------------------------------------------------------------
+# Capture pass (shadowed back end)
+# ----------------------------------------------------------------------
+def capture_front_end(trace: Trace, config: SystemConfig,
+                      warmup_fraction: float = 0.25) -> TraceCapture:
+    """Run the policy-invariant front end once; record the boundary.
+
+    Builds a baseline hierarchy, shadows its below-L1 entry points with
+    recorders and drives the real ``access()`` loop, so the frozen
+    L1/TLB statistics are produced by the exact code a direct run
+    executes.
+    """
+    hierarchy = build_hierarchy(config, "baseline")
+    if hierarchy.simcheck is not None:
+        raise CaptureError("capture pass cannot run under SimCheck")
+
+    ops: list = []
+    addrs: list = []
+    miss_pos: list = []
+    miss_wb: list = []
+    tlb_pos: list = []
+    pos = [0]
+
+    def record_access(line_addr, is_metadata, page):
+        addrs.append(line_addr)
+        if is_metadata:
+            ops.append(OP_METADATA)
+            tlb_pos.append(pos[0])
+        else:
+            ops.append(OP_DEMAND_MISS)
+            miss_pos.append(pos[0])
+            miss_wb.append(-1)
+        return 0
+
+    def record_writeback(line_addr):
+        # The fused L1 fill emits at most one writeback, attached to
+        # the demand miss of the same access; anything else cannot be
+        # replayed from the per-miss writeback slot.
+        if (not miss_wb or miss_wb[-1] != -1
+                or miss_pos[-1] != pos[0]):
+            raise CaptureError("unrepresentable L1 writeback pattern")
+        ops.append(OP_WRITEBACK)
+        addrs.append(line_addr)
+        miss_wb[-1] = line_addr
+
+    hierarchy._access_below_l1 = record_access
+    hierarchy._writeback_below_l1 = record_writeback
+
+    addresses = trace.addresses.tolist()
+    writes = trace.is_write.tolist()
+    n = len(addresses)
+    warmup = int(n * warmup_fraction)
+    access = hierarchy.access
+    index = 0
+    for addr, is_write in zip(addresses[:warmup], writes[:warmup]):
+        pos[0] = index
+        access(addr, is_write)
+        index += 1
+    event_boundary = len(ops)
+    hierarchy.reset_stats()
+    for addr, is_write in zip(addresses[warmup:], writes[warmup:]):
+        pos[0] = index
+        access(addr, is_write)
+        index += 1
+    hierarchy.finalize()
+    # Drop the recorder overrides: the closures reference the
+    # hierarchy, and leaving them in its instance dict would cycle the
+    # whole (large) object graph into the garbage collector.
+    del hierarchy._access_below_l1, hierarchy._writeback_below_l1
+
+    # Shadowed recorders returned zero latency, so the counter holds
+    # exactly the L1-side (front-end) latency.
+    return _assemble_capture(
+        hierarchy, n, warmup, event_boundary, ops, addrs,
+        miss_pos, miss_wb, tlb_pos,
+        hierarchy.counters.total_latency_cycles,
+    )
+
+
+# ----------------------------------------------------------------------
+# Capture-through (recording direct run)
+# ----------------------------------------------------------------------
+def run_trace_capturing(
+    trace: Trace,
+    policy: str,
+    config: SystemConfig,
+    seed: int = 0,
+    replacement: str = "lru",
+    warmup_fraction: float = 0.25,
+    warmup_sampling_boost: bool = True,
+    always_sample: bool = False,
+) -> Tuple[RunResult, Optional[TraceCapture]]:
+    """A direct run of a baseline-kind cell that also emits a capture.
+
+    The below-L1 entry points are wrapped (not shadowed): every event
+    is recorded *and* executed, so the returned result is the direct
+    run's result and the capture is byte-equal to what
+    :func:`capture_front_end` would produce — the event stream and the
+    frozen front end are independent of this cell's back end. Returns
+    ``(result, None)`` when no capture could be taken (SimCheck, or an
+    unrepresentable L1 writeback pattern).
+    """
+    hierarchy = build_hierarchy(
+        config, policy, seed=seed, replacement=replacement,
+        always_sample=always_sample,
+    )
+    recording = hierarchy.simcheck is None
+
+    ops: list = []
+    addrs: list = []
+    miss_pos: list = []
+    miss_wb: list = []
+    tlb_pos: list = []
+    pos = [0]
+    below_demand_lat = [0]
+    poisoned = [False]
+
+    if recording:
+        real_access = hierarchy._access_below_l1
+        real_writeback = hierarchy._writeback_below_l1
+
+        def record_access(line_addr, is_metadata, page):
+            addrs.append(line_addr)
+            if is_metadata:
+                ops.append(OP_METADATA)
+                tlb_pos.append(pos[0])
+                return real_access(line_addr, True, page)
+            ops.append(OP_DEMAND_MISS)
+            miss_pos.append(pos[0])
+            miss_wb.append(-1)
+            latency = real_access(line_addr, False, page)
+            below_demand_lat[0] += latency
+            return latency
+
+        def record_writeback(line_addr):
+            if (not miss_wb or miss_wb[-1] != -1
+                    or miss_pos[-1] != pos[0]):
+                # Can't be represented in the per-miss writeback slot:
+                # keep executing (the direct result is still valid),
+                # just drop the capture at the end.
+                poisoned[0] = True
+            else:
+                ops.append(OP_WRITEBACK)
+                addrs.append(line_addr)
+                miss_wb[-1] = line_addr
+            real_writeback(line_addr)
+
+        hierarchy._access_below_l1 = record_access
+        hierarchy._writeback_below_l1 = record_writeback
+
+    addresses = trace.addresses.tolist()
+    writes = trace.is_write.tolist()
+    n = len(addresses)
+    warmup = int(n * warmup_fraction)
+    maybe_boost_sampler(hierarchy.runtime, warmup_sampling_boost)
+    access = hierarchy.access
+    index = 0
+    for addr, is_write in zip(addresses[:warmup], writes[:warmup]):
+        pos[0] = index
+        access(addr, is_write)
+        index += 1
+    event_boundary = len(ops)
+    hierarchy.reset_stats()
+    below_demand_lat[0] = 0
+    for addr, is_write in zip(addresses[warmup:], writes[warmup:]):
+        pos[0] = index
+        access(addr, is_write)
+        index += 1
+    hierarchy.finalize()
+    if recording:
+        # As in capture_front_end: the wrapper closures reference the
+        # hierarchy; remove them so the graph stays acyclic.
+        del hierarchy._access_below_l1, hierarchy._writeback_below_l1
+
+    capture: Optional[TraceCapture] = None
+    if recording and not poisoned[0]:
+        # The L1-side latency is whatever the below-L1 demand legs did
+        # not contribute (metadata latency is discarded in access()).
+        capture = _assemble_capture(
+            hierarchy, n, warmup, event_boundary, ops, addrs,
+            miss_pos, miss_wb, tlb_pos,
+            hierarchy.counters.total_latency_cycles
+            - below_demand_lat[0],
+        )
+
+    measured_instructions = (n - warmup) * trace.instructions_per_access
+    timing = execution_time(hierarchy, measured_instructions, config.core)
+    return collect_result(policy, trace.name, config, hierarchy,
+                          timing), capture
+
+
+# ----------------------------------------------------------------------
+# Frozen-statistics restore
+# ----------------------------------------------------------------------
+def _restore_level_stats(payload: Dict) -> LevelStats:
+    """A LevelStats carrying frozen figures and *no* energy tables.
+
+    Without attached tables ``materialize()`` is a no-op, so the
+    frozen energy breakdown survives ``finalize``/``collect_result``
+    untouched. Containers are copied so a shared (store-resident)
+    frozen dict can never be mutated by a replay.
+    """
+    data = dict(payload)
+    energy = EnergyBreakdown(**data.pop("energy"))
+    data["hits_by_sublevel"] = list(data["hits_by_sublevel"])
+    data["insertions_by_class"] = dict(data["insertions_by_class"])
+    data["reuse_histogram"] = dict(data["reuse_histogram"])
+    stats = LevelStats(**data)
+    stats.energy = energy
+    return stats
+
+
+# ----------------------------------------------------------------------
+# Replay
+# ----------------------------------------------------------------------
+def _replay_events(hierarchy, capture: TraceCapture) -> None:
+    """Baseline-kind replay: feed the flat event stream verbatim."""
+    ops = capture.ops.tolist()
+    addrs = capture.addrs.tolist()
+    pages = (capture.addrs >> hierarchy._page_shift).tolist()
+    boundary = capture.event_boundary
+    access_below = hierarchy._access_below_l1
+    wb_below = hierarchy._writeback_below_l1
+    demand, metadata = OP_DEMAND_MISS, OP_METADATA
+    for op, addr, page in zip(ops[:boundary], addrs[:boundary],
+                              pages[:boundary]):
+        if op == demand:
+            access_below(addr, False, page)
+        elif op == metadata:
+            access_below(addr, True, -1)
+        else:
+            wb_below(addr)
+    hierarchy.reset_stats()
+    total = 0
+    for op, addr, page in zip(ops[boundary:], addrs[boundary:],
+                              pages[boundary:]):
+        if op == demand:
+            # Metadata latency is discarded in access(); only demand
+            # accesses contribute below-L1 latency.
+            total += access_below(addr, False, page)
+        elif op == metadata:
+            access_below(addr, True, -1)
+        else:
+            wb_below(addr)
+    hierarchy.counters.total_latency_cycles += total
+
+
+def _replay_slip(hierarchy, trace: Trace, capture: TraceCapture) -> None:
+    """Slip-kind replay: live runtime driven at captured positions.
+
+    Walks the captured TLB-miss and L1-miss positions in merged order,
+    re-running the runtime's TLB-miss path (PTE fetch plus
+    ``_key_metadata_fetches``) exactly where the direct run would, so
+    sampler RNG draws, page-state transitions and EOU invocations all
+    happen in the direct run's order.
+    """
+    runtime = hierarchy.runtime
+    n = capture.n
+    shift = hierarchy._page_shift
+    addresses = trace.addresses
+    miss_positions = capture.l1_miss_pos.tolist()
+    miss_np = addresses[np.asarray(capture.l1_miss_pos)]
+    miss_addrs = miss_np.tolist()
+    miss_pages = (miss_np >> shift).tolist()
+    wb_addrs = capture.l1_miss_wb.tolist()
+    tlb_positions = capture.tlb_miss_pos.tolist()
+    tlb_pages = (
+        addresses[np.asarray(capture.tlb_miss_pos)] >> shift
+    ).tolist()
+    access_below = hierarchy._access_below_l1
+    wb_below = hierarchy._writeback_below_l1
+    key_fetches = runtime._key_metadata_fetches
+    num_tlb, num_miss = len(tlb_positions), len(miss_positions)
+    cursor = [0, 0]  # [tlb index, miss index]
+
+    def run_phase(stop: int) -> int:
+        tlb_i, miss_i = cursor
+        total = 0
+        runtime_stats = runtime.stats
+        tlb_stats = runtime.tlb.stats
+        while True:
+            tlb_p = tlb_positions[tlb_i] if tlb_i < num_tlb else n
+            miss_p = miss_positions[miss_i] if miss_i < num_miss else n
+            p = tlb_p if tlb_p < miss_p else miss_p
+            if p >= stop:
+                break
+            if tlb_p == p:
+                page = tlb_pages[tlb_i]
+                tlb_i += 1
+                tlb_stats.misses += 1
+                runtime_stats.tlb_miss_fetches += 1
+                # Mirror on_reference: the fetch list (and with it the
+                # page-state machinery) is computed before any of the
+                # metadata lines travel below L1.
+                fetches = key_fetches(page)
+                access_below(pte_line_address(page), True, -1)
+                for fetch in fetches:
+                    access_below(fetch, True, -1)
+            if miss_p == p:
+                total += access_below(miss_addrs[miss_i], False,
+                                      miss_pages[miss_i])
+                wb = wb_addrs[miss_i]
+                if wb >= 0:
+                    wb_below(wb)
+                miss_i += 1
+        cursor[0], cursor[1] = tlb_i, miss_i
+        return total
+
+    run_phase(capture.warmup)
+    hierarchy.reset_stats()
+    total = run_phase(n)
+    hierarchy.counters.total_latency_cycles += total
+    # One page-grain TLB probe per access: hits are the complement of
+    # the measured-phase misses (counted live above).
+    tlb_stats = runtime.tlb.stats
+    tlb_stats.hits = (n - capture.warmup) - tlb_stats.misses
+
+
+def replay_capture(
+    trace: Trace,
+    policy: str,
+    capture: TraceCapture,
+    config: SystemConfig,
+    seed: int = 0,
+    replacement: str = "lru",
+    warmup_sampling_boost: bool = True,
+    level_energy_overrides: Optional[Dict[str, LevelEnergyParams]] = None,
+    always_sample: bool = False,
+) -> RunResult:
+    """Build only the back end and feed it the captured boundary."""
+    hierarchy = build_hierarchy(
+        config, policy, seed=seed, replacement=replacement,
+        level_energy_overrides=level_energy_overrides,
+        always_sample=always_sample,
+    )
+    if hierarchy.simcheck is not None:
+        raise CaptureError("replay cannot run under SimCheck")
+    runtime = hierarchy.runtime
+    slip_kind = getattr(runtime, "slip_enabled", False)
+    if slip_kind:
+        if runtime.block_shift is not None:
+            raise CaptureError("rd-block mode cannot be replayed")
+        maybe_boost_sampler(runtime, warmup_sampling_boost)
+        _replay_slip(hierarchy, trace, capture)
+    else:
+        _replay_events(hierarchy, capture)
+
+    # Merge the frozen front end. The replay's own L1 is empty (never
+    # filled), so finalize() touches only live L2/L3 state.
+    frozen = capture.frozen
+    hierarchy.l1.stats = _restore_level_stats(frozen["l1"])
+    counters = hierarchy.counters
+    counters.demand_accesses = int(frozen["demand_accesses"])
+    counters.l1_hits = int(frozen["l1_hits"])
+    counters.total_latency_cycles += int(frozen["l1_latency_cycles"])
+    if not slip_kind:
+        runtime.stats = RuntimeStats(**frozen["runtime"])
+        runtime.tlb.stats = TlbStats(**frozen["tlb"])
+    hierarchy.finalize()
+    check_capture_replay(hierarchy, capture, slip_kind=slip_kind)
+    measured_instructions = (
+        (capture.n - capture.warmup) * trace.instructions_per_access
+    )
+    timing = execution_time(hierarchy, measured_instructions, config.core)
+    return collect_result(policy, trace.name, config, hierarchy, timing)
+
+
+# ----------------------------------------------------------------------
+# Public driver
+# ----------------------------------------------------------------------
+def run_trace_filtered(
+    trace: Trace,
+    policy: str,
+    config: Optional[SystemConfig] = None,
+    seed: int = 0,
+    replacement: str = "lru",
+    warmup_fraction: float = 0.25,
+    warmup_sampling_boost: bool = True,
+    level_energy_overrides: Optional[Dict[str, LevelEnergyParams]] = None,
+    always_sample: bool = False,
+    store=None,
+) -> RunResult:
+    """Drop-in ``run_trace`` using capture/replay where it is legal.
+
+    Byte-identical to :func:`~repro.sim.single_core.run_trace` by
+    construction; falls back to it whenever a capture cannot represent
+    the run (SimCheck, rd-block SLIP, per-level energy overrides,
+    ``REPRO_FILTERED=0``, or a capture/store failure).
+    """
+    config = config or default_system()
+    kind = runtime_kind(policy)
+    if (
+        not filtered_enabled()
+        or invariants_enabled()
+        or level_energy_overrides
+        or (kind == "slip" and config.slip.rd_block_lines)
+    ):
+        return run_trace(
+            trace, policy, config=config, seed=seed,
+            replacement=replacement, warmup_fraction=warmup_fraction,
+            warmup_sampling_boost=warmup_sampling_boost,
+            level_energy_overrides=level_energy_overrides,
+            always_sample=always_sample,
+        )
+    fingerprint = front_end_fingerprint(
+        trace, config, seed, warmup_fraction,
+    )
+    key = fingerprint_key(fingerprint)
+    if store is None:
+        store = default_store()
+    capture = store.get(key)
+    if capture is None:
+        if kind == "baseline":
+            # Capture-through: the direct run of this very cell records
+            # the boundary as a side effect, so the first cell of a
+            # sweep costs one run, not a capture pass plus a replay.
+            result, capture = run_trace_capturing(
+                trace, policy, config, seed=seed,
+                replacement=replacement,
+                warmup_fraction=warmup_fraction,
+                warmup_sampling_boost=warmup_sampling_boost,
+                always_sample=always_sample,
+            )
+            if capture is not None:
+                store.put(key, capture, fingerprint=fingerprint)
+            return result
+        try:
+            capture = capture_front_end(trace, config, warmup_fraction)
+        except CaptureError:
+            return run_trace(
+                trace, policy, config=config, seed=seed,
+                replacement=replacement, warmup_fraction=warmup_fraction,
+                warmup_sampling_boost=warmup_sampling_boost,
+                level_energy_overrides=level_energy_overrides,
+                always_sample=always_sample,
+            )
+        store.put(key, capture, fingerprint=fingerprint)
+    return replay_capture(
+        trace, policy, capture, config, seed=seed,
+        replacement=replacement,
+        warmup_sampling_boost=warmup_sampling_boost,
+        level_energy_overrides=level_energy_overrides,
+        always_sample=always_sample,
+    )

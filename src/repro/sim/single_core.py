@@ -7,7 +7,7 @@ from typing import Dict, Iterable, Optional, Sequence, Tuple
 from ..core.energy_model import LevelEnergyParams
 from ..workloads.benchmarks import make_trace
 from ..workloads.trace import Trace
-from .build import build_hierarchy
+from .build import build_hierarchy, maybe_boost_sampler
 from .config import SystemConfig, default_system
 from .results import RunResult, collect_result
 from .timing import execution_time
@@ -40,17 +40,7 @@ def run_trace(
     writes = trace.is_write.tolist()
     access = hierarchy.access
     warmup = int(len(addresses) * warmup_fraction)
-    runtime = hierarchy.runtime
-    boost = warmup_sampling_boost and getattr(runtime, "slip_enabled", False)
-    if boost:
-        # Scale compensation: our traces are ~1000x shorter than the
-        # paper's 500M-instruction SimPoints, so with Nsamp=16/Nstab=256
-        # most pages would never finish learning. Scaling both by 8 (to
-        # 2/32) shortens the page-learning timescale while keeping the
-        # distribution-fetch fraction Nsamp/(Nsamp+Nstab) at the paper's
-        # 5.9% exactly, so metadata-traffic results stay faithful.
-        sampler = runtime.sampler
-        sampler.nsamp, sampler.nstab = 2, 32
+    maybe_boost_sampler(hierarchy.runtime, warmup_sampling_boost)
     for addr, is_write in zip(addresses[:warmup], writes[:warmup]):
         access(addr, is_write)
     hierarchy.reset_stats()
@@ -103,9 +93,13 @@ def run_policy_sweep(
             jobs=jobs,
         )
         return {policy: results[(benchmark, policy)] for policy in policies}
+    # Serial path: filtered capture/replay shares the policy-invariant
+    # front end across the policies (byte-identical to run_trace).
+    from .filtered import run_trace_filtered
+
     trace = make_trace(benchmark, length, seed)
     return {
-        policy: run_trace(trace, policy, config=config, seed=seed)
+        policy: run_trace_filtered(trace, policy, config=config, seed=seed)
         for policy in policies
     }
 

@@ -7,6 +7,13 @@ from .benchmarks import (
     BenchmarkSpec,
     make_trace,
 )
+from .capture_store import (
+    DiskCaptureStore,
+    MemoryCaptureStore,
+    TraceCapture,
+    default_store,
+    trace_content_digest,
+)
 from .generators import (
     BimodalLoopRegion,
     HotColdRegion,
@@ -23,17 +30,22 @@ __all__ = [
     "BENCHMARKS",
     "BenchmarkSpec",
     "BimodalLoopRegion",
+    "DiskCaptureStore",
     "FIG1_BENCHMARKS",
     "HotColdRegion",
     "LoopRegion",
     "MULTICORE_MIXES",
+    "MemoryCaptureStore",
     "RandomRegion",
     "Region",
     "RegionMix",
     "SPEC_ORDER",
     "StreamRegion",
     "Trace",
+    "TraceCapture",
+    "default_store",
     "make_mix_traces",
     "make_trace",
     "mix_name",
+    "trace_content_digest",
 ]

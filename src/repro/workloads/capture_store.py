@@ -1,0 +1,336 @@
+"""Persistent store for policy-invariant front-end captures.
+
+A *capture* is everything the filtered-replay driver
+(:mod:`repro.sim.filtered`) needs to skip the front end of a
+simulation: the compact numpy event stream of what crossed the L1->L2
+boundary (demand misses, metadata accesses, L1 writebacks), the trace
+positions of L1 and TLB misses, and the frozen front-end statistics of
+the capture run. Captures are immutable and content-addressed by a
+fingerprint of everything that can influence the front end (trace
+content, L1 geometry/replacement, TLB size, page grain, warmup split,
+seed). The runtime kind is deliberately absent: the front end is
+runtime-kind invariant, so one capture serves every policy.
+
+Two stores implement the same two-method protocol (``get``/``put``):
+
+* :class:`MemoryCaptureStore` — a small process-wide LRU dict; the
+  default, used whenever ``REPRO_CAPTURE_DIR`` is unset. Serial sweeps
+  in one process share captures through it.
+* :class:`DiskCaptureStore` — an on-disk, content-addressed layout
+  (one directory per fingerprint digest holding ``meta.json`` plus one
+  ``.npy`` file per event array), selected via ``REPRO_CAPTURE_DIR``.
+  Arrays are loaded with ``mmap_mode="r"`` so parallel sweep workers
+  map the same pages instead of each re-simulating the front end.
+  Writes are atomic (temp dir + rename), the store is size-capped
+  (``REPRO_CAPTURE_MAX_MB``, default 512, oldest-mtime eviction), and
+  a corrupt or truncated entry is quarantined on load: ``get`` returns
+  ``None`` and the caller falls back to direct simulation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+from collections import OrderedDict
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from .trace import Trace
+
+#: Bump when the capture layout changes; part of every fingerprint.
+CAPTURE_VERSION = 1
+
+#: Environment knobs for the on-disk store.
+CAPTURE_DIR_ENV = "REPRO_CAPTURE_DIR"
+CAPTURE_MAX_MB_ENV = "REPRO_CAPTURE_MAX_MB"
+_DEFAULT_MAX_MB = 512
+
+#: Event opcodes in the captured L1->L2 stream.
+OP_DEMAND_MISS = 0
+OP_METADATA = 1
+OP_WRITEBACK = 2
+
+_ARRAY_NAMES = ("ops", "addrs", "l1_miss_pos", "l1_miss_wb",
+                "tlb_miss_pos")
+
+
+class CaptureError(Exception):
+    """A capture could not be produced or failed validation."""
+
+
+class TraceCapture:
+    """One immutable front-end capture (see module docstring)."""
+
+    __slots__ = ("n", "warmup", "event_boundary", "ops", "addrs",
+                 "l1_miss_pos", "l1_miss_wb", "tlb_miss_pos", "frozen")
+
+    def __init__(self, n: int, warmup: int, event_boundary: int,
+                 ops: np.ndarray, addrs: np.ndarray,
+                 l1_miss_pos: np.ndarray, l1_miss_wb: np.ndarray,
+                 tlb_miss_pos: np.ndarray, frozen: Dict) -> None:
+        self.n = n
+        self.warmup = warmup
+        self.event_boundary = event_boundary
+        self.ops = ops
+        self.addrs = addrs
+        self.l1_miss_pos = l1_miss_pos
+        self.l1_miss_wb = l1_miss_wb
+        self.tlb_miss_pos = tlb_miss_pos
+        self.frozen = frozen
+
+    # ------------------------------------------------------------------
+    def nbytes(self) -> int:
+        return sum(int(getattr(self, name).nbytes)
+                   for name in _ARRAY_NAMES)
+
+    def validate(self) -> None:
+        """Structural sanity; raises :class:`CaptureError` on damage.
+
+        Cheap (vectorized) and run on every load from disk, so a
+        truncated ``.npy`` or a hand-edited ``meta.json`` surfaces as a
+        clean fallback to direct simulation rather than a wrong result.
+        """
+        if self.ops.shape != self.addrs.shape or self.ops.ndim != 1:
+            raise CaptureError("ops/addrs arrays disagree")
+        if self.l1_miss_pos.shape != self.l1_miss_wb.shape:
+            raise CaptureError("miss position/writeback arrays disagree")
+        if not (0 <= self.event_boundary <= int(self.ops.shape[0])):
+            raise CaptureError("event boundary out of range")
+        if not (0 <= self.warmup <= self.n):
+            raise CaptureError("warmup split out of range")
+        for pos in (self.l1_miss_pos, self.tlb_miss_pos):
+            if pos.shape[0] and (
+                int(pos[0]) < 0 or int(pos[-1]) >= self.n
+                or bool(np.any(np.diff(pos) <= 0))
+            ):
+                raise CaptureError("positions not strictly increasing "
+                                   "within the trace")
+        counts = self.frozen.get("event_counts")
+        if not isinstance(counts, dict):
+            raise CaptureError("frozen stats missing event counts")
+        measured = self.ops[self.event_boundary:]
+        for op, key in ((OP_DEMAND_MISS, "demand"),
+                        (OP_METADATA, "metadata"),
+                        (OP_WRITEBACK, "writeback")):
+            if int(np.count_nonzero(measured == op)) != counts.get(key):
+                raise CaptureError(f"{key} event count mismatch")
+
+
+# ----------------------------------------------------------------------
+# Fingerprinting
+# ----------------------------------------------------------------------
+def trace_content_digest(trace: Trace) -> str:
+    """sha256 over the trace arrays, memoized on ``trace.metadata``.
+
+    Traces come out of the process-wide LRU factory, so the digest is
+    computed once per (benchmark, length, seed) per process.
+    """
+    digest = trace.metadata.get("content_digest")
+    if digest is None:
+        h = hashlib.sha256()
+        h.update(np.ascontiguousarray(trace.addresses).tobytes())
+        h.update(np.ascontiguousarray(trace.is_write).tobytes())
+        digest = h.hexdigest()
+        trace.metadata["content_digest"] = digest
+    return digest
+
+
+def fingerprint_key(fingerprint: Dict) -> str:
+    """Canonical JSON of a fingerprint dict — the store key."""
+    return json.dumps(fingerprint, sort_keys=True, separators=(",", ":"))
+
+
+def key_digest(key: str) -> str:
+    """Directory-name-sized digest of a fingerprint key."""
+    return hashlib.sha256(key.encode("utf-8")).hexdigest()[:32]
+
+
+# ----------------------------------------------------------------------
+# Stores
+# ----------------------------------------------------------------------
+class MemoryCaptureStore:
+    """Process-wide LRU of captures; the no-configuration default."""
+
+    def __init__(self, max_entries: int = 16) -> None:
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[str, TraceCapture]" = OrderedDict()
+
+    def get(self, key: str) -> Optional[TraceCapture]:
+        capture = self._entries.get(key)
+        if capture is not None:
+            self._entries.move_to_end(key)
+        return capture
+
+    def put(self, key: str, capture: TraceCapture,
+            fingerprint: Optional[Dict] = None) -> None:
+        self._entries[key] = capture
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+
+class DiskCaptureStore:
+    """Content-addressed on-disk captures shared across processes."""
+
+    def __init__(self, root: str,
+                 max_bytes: int = _DEFAULT_MAX_MB * 1024 * 1024,
+                 memo_entries: int = 16) -> None:
+        self.root = root
+        self.max_bytes = max_bytes
+        # In-process memo of loaded captures: repeated cells in one
+        # worker skip the meta.json parse and np.load calls entirely.
+        self._memo = MemoryCaptureStore(memo_entries)
+
+    # ------------------------------------------------------------------
+    def _entry_dir(self, key: str) -> str:
+        return os.path.join(self.root, key_digest(key))
+
+    def get(self, key: str) -> Optional[TraceCapture]:
+        capture = self._memo.get(key)
+        if capture is not None:
+            return capture
+        path = self._entry_dir(key)
+        if not os.path.isdir(path):
+            return None
+        try:
+            capture = self._load(path, key)
+        except (OSError, ValueError, KeyError, CaptureError,
+                json.JSONDecodeError):
+            # Corrupt/truncated entry: quarantine it so the next run
+            # re-captures instead of tripping over it again.
+            shutil.rmtree(path, ignore_errors=True)
+            return None
+        try:
+            os.utime(path)  # freshen mtime: LRU-ish eviction order
+        except OSError:
+            pass
+        self._memo.put(key, capture)
+        return capture
+
+    def _load(self, path: str, key: str) -> TraceCapture:
+        with open(os.path.join(path, "meta.json"), "r",
+                  encoding="utf-8") as handle:
+            meta = json.load(handle)
+        if meta.get("version") != CAPTURE_VERSION:
+            raise CaptureError("capture version mismatch")
+        if meta.get("key") != key:
+            # Digest collision or foreign entry: treat as a miss but
+            # leave the entry alone (it is someone else's capture).
+            raise OSError("fingerprint mismatch")
+        arrays = {
+            name: np.load(os.path.join(path, f"{name}.npy"),
+                          mmap_mode="r", allow_pickle=False)
+            for name in _ARRAY_NAMES
+        }
+        capture = TraceCapture(
+            n=int(meta["n"]), warmup=int(meta["warmup"]),
+            event_boundary=int(meta["event_boundary"]),
+            frozen=meta["frozen"], **arrays,
+        )
+        capture.validate()
+        return capture
+
+    # ------------------------------------------------------------------
+    def put(self, key: str, capture: TraceCapture,
+            fingerprint: Optional[Dict] = None) -> None:
+        self._memo.put(key, capture)
+        path = self._entry_dir(key)
+        if os.path.isdir(path):
+            return
+        tmp = f"{path}.tmp-{os.getpid()}"
+        try:
+            os.makedirs(tmp, exist_ok=True)
+            for name in _ARRAY_NAMES:
+                np.save(os.path.join(tmp, f"{name}.npy"),
+                        np.asarray(getattr(capture, name)),
+                        allow_pickle=False)
+            meta = {
+                "version": CAPTURE_VERSION,
+                "key": key,
+                "fingerprint": fingerprint,
+                "n": capture.n,
+                "warmup": capture.warmup,
+                "event_boundary": capture.event_boundary,
+                "frozen": capture.frozen,
+            }
+            with open(os.path.join(tmp, "meta.json"), "w",
+                      encoding="utf-8") as handle:
+                json.dump(meta, handle, sort_keys=True)
+            os.rename(tmp, path)
+        except OSError:
+            # Lost a publish race or the volume is unwritable; the
+            # in-memory memo still serves this process.
+            shutil.rmtree(tmp, ignore_errors=True)
+            return
+        self._evict(keep=os.path.basename(path))
+
+    def _evict(self, keep: str) -> None:
+        """Drop oldest entries until the store fits ``max_bytes``."""
+        try:
+            names = sorted(os.listdir(self.root))
+        except OSError:
+            return
+        entries = []
+        total = 0
+        for name in names:
+            path = os.path.join(self.root, name)
+            if not os.path.isdir(path) or ".tmp-" in name:
+                continue
+            size = 0
+            try:
+                with os.scandir(path) as it:
+                    for item in it:
+                        size += item.stat().st_size
+                mtime = os.path.getmtime(path)
+            except OSError:
+                continue
+            total += size
+            entries.append((mtime, name, path, size))
+        if total <= self.max_bytes:
+            return
+        entries.sort()
+        for _, name, path, size in entries:
+            if total <= self.max_bytes:
+                break
+            if name == keep:
+                continue
+            shutil.rmtree(path, ignore_errors=True)
+            total -= size
+
+
+# ----------------------------------------------------------------------
+# Store selection
+# ----------------------------------------------------------------------
+_MEMORY_STORE = MemoryCaptureStore()
+_DISK_STORES: Dict[Tuple[str, int], DiskCaptureStore] = {}
+
+
+def default_store():
+    """The store implied by the environment, re-resolved per call.
+
+    ``REPRO_CAPTURE_DIR`` selects (and creates) an on-disk store —
+    worker processes inherit the variable and share it; otherwise the
+    process-wide in-memory store is used.
+    """
+    root = os.environ.get(CAPTURE_DIR_ENV, "").strip()
+    if not root:
+        return _MEMORY_STORE
+    raw = os.environ.get(CAPTURE_MAX_MB_ENV, "").strip()
+    try:
+        max_mb = int(raw) if raw else _DEFAULT_MAX_MB
+    except ValueError:
+        max_mb = _DEFAULT_MAX_MB
+    cache_key = (os.path.abspath(root), max_mb)
+    store = _DISK_STORES.get(cache_key)
+    if store is None:
+        os.makedirs(root, exist_ok=True)
+        store = DiskCaptureStore(cache_key[0],
+                                 max_bytes=max_mb * 1024 * 1024)
+        _DISK_STORES[cache_key] = store
+    return store

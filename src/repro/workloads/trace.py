@@ -2,7 +2,9 @@
 
 A trace is a pair of parallel numpy arrays: 64-bit line addresses and a
 write flag per access. Addresses are in units of 64-byte cache lines;
-page numbers are ``address >> 6`` (64 lines per 4 KB page).
+page numbers are ``address >> line_to_page_shift(lines_per_page)``,
+the same shared hook :class:`~repro.mem.hierarchy.MemoryHierarchy`
+derives its page grain from (64 lines per 4 KB page by default).
 """
 
 from __future__ import annotations
@@ -11,6 +13,14 @@ from dataclasses import dataclass, field
 from typing import Iterator, Tuple
 
 import numpy as np
+
+from ..sim.config import LINES_PER_PAGE, line_to_page_shift
+
+#: Accesses materialized per chunk by ``Trace.__iter__``. Large enough
+#: that the per-chunk slicing cost is invisible, small enough that a
+#: multi-million-access trace never holds two full list copies alive
+#: (the old ``.tolist()``-both-arrays implementation did, per call).
+_ITER_CHUNK = 65536
 
 
 @dataclass
@@ -34,8 +44,15 @@ class Trace:
         return int(self.addresses.shape[0])
 
     def __iter__(self) -> Iterator[Tuple[int, bool]]:
-        for addr, wr in zip(self.addresses.tolist(), self.is_write.tolist()):
-            yield addr, wr
+        # Chunked conversion: ~same per-access cost as a flat .tolist()
+        # (the numpy->list conversion dominates either way; see the
+        # micro-benchmark note in EXPERIMENTS.md) but peak extra memory
+        # is two 64 Ki-entry lists instead of two full-trace copies.
+        addresses, is_write = self.addresses, self.is_write
+        for start in range(0, int(addresses.shape[0]), _ITER_CHUNK):
+            stop = start + _ITER_CHUNK
+            yield from zip(addresses[start:stop].tolist(),
+                           is_write[start:stop].tolist())
 
     @property
     def instruction_count(self) -> float:
@@ -45,8 +62,15 @@ class Trace:
         """Number of distinct lines touched."""
         return int(np.unique(self.addresses).size)
 
-    def footprint_pages(self) -> int:
-        return int(np.unique(self.addresses >> 6).size)
+    def footprint_pages(self, lines_per_page: int = LINES_PER_PAGE) -> int:
+        """Number of distinct pages touched.
+
+        Pass ``config.lines_per_page`` to report at the same page grain
+        a hierarchy built from that config simulates with; the default
+        is the stock 4 KB page (64 lines).
+        """
+        shift = line_to_page_shift(lines_per_page)
+        return int(np.unique(self.addresses >> shift).size)
 
     def sliced(self, start: int, stop: int) -> "Trace":
         return Trace(

@@ -1,0 +1,350 @@
+"""Filtered-trace replay: equivalence, store keying, recovery.
+
+The contract under test is absolute: for every policy and every legal
+configuration, ``run_trace_filtered`` must produce a ``RunResult``
+whose ``to_json()`` is byte-identical to a direct ``run_trace`` —
+whether the result came from a capture-through run, a replay against a
+memory- or disk-resident capture, or a bypass fallback.
+"""
+
+import copy
+import dataclasses
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.analysis.invariants import InvariantViolation
+from repro.core.energy_model import LevelEnergyParams
+from repro.experiments.parallel import RunRequest, run_jobs
+from repro.sim.build import build_hierarchy
+from repro.sim.config import LINES_PER_PAGE, line_to_page_shift
+from repro.sim.filtered import (
+    capture_front_end,
+    front_end_fingerprint,
+    replay_capture,
+    run_trace_capturing,
+    run_trace_filtered,
+)
+from repro.sim.single_core import run_trace
+from repro.workloads.benchmarks import make_trace
+from repro.workloads.capture_store import (
+    DiskCaptureStore,
+    MemoryCaptureStore,
+    TraceCapture,
+    fingerprint_key,
+)
+from repro.workloads.trace import _ITER_CHUNK, Trace
+
+ALL_POLICIES = ("baseline", "nurapid", "lru_pea", "slip", "slip_abp")
+LENGTH = 2_500
+
+
+def canonical(result) -> str:
+    return json.dumps(result.to_json(), sort_keys=True)
+
+
+def entry_dirs(root) -> list:
+    return [name for name in os.listdir(root) if ".tmp-" not in name]
+
+
+# ----------------------------------------------------------------------
+# Byte-identical equivalence
+# ----------------------------------------------------------------------
+class TestEquivalence:
+    @pytest.mark.parametrize("policy", ALL_POLICIES)
+    def test_filtered_matches_direct(self, policy, tiny_system):
+        trace = make_trace("soplex", LENGTH)
+        store = MemoryCaptureStore()
+        direct = run_trace(trace, policy, config=tiny_system, seed=2)
+        filtered = run_trace_filtered(trace, policy, config=tiny_system,
+                                      seed=2, store=store)
+        assert canonical(direct) == canonical(filtered)
+
+    @pytest.mark.parametrize("policy", ALL_POLICIES)
+    def test_replay_from_shared_capture_matches(self, policy,
+                                                tiny_system):
+        """All five policies replay one store entry byte-identically."""
+        trace = make_trace("lbm", LENGTH)
+        store = MemoryCaptureStore()
+        # Warm the store through the baseline cell (capture-through).
+        run_trace_filtered(trace, "baseline", config=tiny_system,
+                           store=store)
+        assert len(store._entries) == 1
+        direct = run_trace(trace, policy, config=tiny_system)
+        filtered = run_trace_filtered(trace, policy, config=tiny_system,
+                                      store=store)
+        assert canonical(direct) == canonical(filtered)
+        assert len(store._entries) == 1  # no second capture taken
+
+    def test_simcheck_mode_still_identical(self, monkeypatch,
+                                           tiny_system):
+        """REPRO_CHECK_INVARIANTS=1 bypasses replay but not equality."""
+        monkeypatch.setenv("REPRO_CHECK_INVARIANTS", "1")
+        trace = make_trace("soplex", 1_200)
+        store = MemoryCaptureStore()
+        direct = run_trace(trace, "slip", config=tiny_system)
+        filtered = run_trace_filtered(trace, "slip", config=tiny_system,
+                                      store=store)
+        assert canonical(direct) == canonical(filtered)
+        assert not store._entries  # replay is illegal under SimCheck
+
+    def test_filtered_env_off_bypasses(self, monkeypatch, tiny_system):
+        monkeypatch.setenv("REPRO_FILTERED", "0")
+        trace = make_trace("soplex", 1_200)
+        store = MemoryCaptureStore()
+        filtered = run_trace_filtered(trace, "baseline",
+                                      config=tiny_system, store=store)
+        assert not store._entries
+        assert filtered == run_trace(trace, "baseline",
+                                     config=tiny_system)
+
+    def test_rd_block_slip_bypasses(self, tiny_system):
+        config = tiny_system.with_slip(rd_block_lines=4)
+        trace = make_trace("soplex", 1_200)
+        store = MemoryCaptureStore()
+        filtered = run_trace_filtered(trace, "slip", config=config,
+                                      store=store)
+        assert not store._entries
+        assert filtered == run_trace(trace, "slip", config=config)
+
+    def test_energy_overrides_bypass(self, tiny_system):
+        l3 = tiny_system.l3
+        overrides = {
+            "L3": LevelEnergyParams(
+                sublevel_capacity_lines=tuple(
+                    l3.sublevel_capacity_lines(i)
+                    for i in range(l3.num_sublevels)
+                ),
+                sublevel_energy_pj=tuple(
+                    e * 0.5 for e in l3.sublevel_energy_pj
+                ),
+                next_level_energy_pj=tiny_system.dram.energy_pj_per_line,
+            )
+        }
+        trace = make_trace("soplex", 1_200)
+        store = MemoryCaptureStore()
+        filtered = run_trace_filtered(
+            trace, "slip", config=tiny_system, store=store,
+            level_energy_overrides=overrides,
+        )
+        assert not store._entries
+        assert filtered == run_trace(trace, "slip", config=tiny_system,
+                                     level_energy_overrides=overrides)
+
+    def test_default_system_smoke(self):
+        """Paper-scale config, the sweep bench's own geometry."""
+        trace = make_trace("soplex", LENGTH)
+        store = MemoryCaptureStore()
+        run_trace_filtered(trace, "baseline", store=store)
+        direct = run_trace(trace, "slip_abp")
+        filtered = run_trace_filtered(trace, "slip_abp", store=store)
+        assert canonical(direct) == canonical(filtered)
+
+
+# ----------------------------------------------------------------------
+# Capture modes
+# ----------------------------------------------------------------------
+class TestCaptureModes:
+    def test_capture_through_equals_capture_pass(self, tiny_system):
+        """Both capture modes freeze the identical front end."""
+        trace = make_trace("soplex", LENGTH)
+        shadow = capture_front_end(trace, tiny_system)
+        result, through = run_trace_capturing(trace, "baseline",
+                                              tiny_system)
+        assert through is not None
+        assert (shadow.n, shadow.warmup, shadow.event_boundary) == (
+            through.n, through.warmup, through.event_boundary)
+        for name in ("ops", "addrs", "l1_miss_pos", "l1_miss_wb",
+                     "tlb_miss_pos"):
+            np.testing.assert_array_equal(getattr(shadow, name),
+                                          getattr(through, name))
+        assert shadow.frozen == through.frozen
+        # The capture-through result IS the direct result of the cell.
+        assert result == run_trace(trace, "baseline", config=tiny_system)
+
+    def test_conservation_invariant_trips_on_corruption(self,
+                                                        tiny_system):
+        trace = make_trace("soplex", 1_500)
+        capture = capture_front_end(trace, tiny_system)
+        frozen = copy.deepcopy(capture.frozen)
+        frozen["event_counts"]["demand"] += 1
+        bad = TraceCapture(
+            n=capture.n, warmup=capture.warmup,
+            event_boundary=capture.event_boundary, ops=capture.ops,
+            addrs=capture.addrs, l1_miss_pos=capture.l1_miss_pos,
+            l1_miss_wb=capture.l1_miss_wb,
+            tlb_miss_pos=capture.tlb_miss_pos, frozen=frozen,
+        )
+        with pytest.raises(InvariantViolation) as excinfo:
+            replay_capture(trace, "baseline", bad, tiny_system)
+        assert excinfo.value.invariant == "capture-replay-conservation"
+
+
+# ----------------------------------------------------------------------
+# Fingerprint keying
+# ----------------------------------------------------------------------
+class TestFingerprint:
+    def test_front_end_knobs_change_the_key(self, tiny_system):
+        trace = make_trace("soplex", 1_500)
+        base = fingerprint_key(
+            front_end_fingerprint(trace, tiny_system, 0, 0.25))
+        variants = [
+            front_end_fingerprint(trace, tiny_system, 1, 0.25),
+            front_end_fingerprint(trace, tiny_system, 0, 0.5),
+            front_end_fingerprint(
+                trace,
+                dataclasses.replace(tiny_system, tlb_entries=16),
+                0, 0.25),
+            front_end_fingerprint(
+                trace,
+                dataclasses.replace(
+                    tiny_system,
+                    l1=dataclasses.replace(tiny_system.l1,
+                                           size_bytes=512)),
+                0, 0.25),
+            front_end_fingerprint(
+                make_trace("soplex", 1_500, seed=1), tiny_system,
+                0, 0.25),
+        ]
+        for variant in variants:
+            assert fingerprint_key(variant) != base
+
+    def test_back_end_knobs_share_the_key(self, tiny_system):
+        """L2/L3 geometry and SLIP params never reach the front end."""
+        trace = make_trace("soplex", 1_500)
+        base = fingerprint_key(
+            front_end_fingerprint(trace, tiny_system, 0, 0.25))
+        bigger_l2 = dataclasses.replace(
+            tiny_system,
+            l2=dataclasses.replace(tiny_system.l2, size_bytes=8192))
+        assert fingerprint_key(
+            front_end_fingerprint(trace, bigger_l2, 0, 0.25)) == base
+        tweaked = tiny_system.with_slip(nsamp=3)
+        assert fingerprint_key(
+            front_end_fingerprint(trace, tweaked, 0, 0.25)) == base
+
+
+# ----------------------------------------------------------------------
+# Disk store
+# ----------------------------------------------------------------------
+class TestDiskStore:
+    def test_same_key_hits_from_fresh_store(self, tmp_path, tiny_system):
+        trace = make_trace("soplex", LENGTH)
+        run_trace_filtered(trace, "baseline", config=tiny_system,
+                           store=DiskCaptureStore(str(tmp_path)))
+        assert len(entry_dirs(tmp_path)) == 1
+        key = fingerprint_key(
+            front_end_fingerprint(trace, tiny_system, 0, 0.25))
+        # A fresh store (cold memo) must load the entry from disk.
+        loaded = DiskCaptureStore(str(tmp_path)).get(key)
+        assert loaded is not None
+        assert loaded.n == LENGTH
+
+    def test_capture_shared_across_runtime_kinds(self, tmp_path,
+                                                 tiny_system):
+        """The fingerprint excludes the runtime kind: a slip cell
+
+        replays the capture the baseline cell recorded rather than
+        taking its own.
+        """
+        trace = make_trace("lbm", LENGTH)
+        run_trace_filtered(trace, "baseline", config=tiny_system,
+                           store=DiskCaptureStore(str(tmp_path)))
+        filtered = run_trace_filtered(
+            trace, "slip_abp", config=tiny_system,
+            store=DiskCaptureStore(str(tmp_path)))
+        assert len(entry_dirs(tmp_path)) == 1
+        assert filtered == run_trace(trace, "slip_abp",
+                                     config=tiny_system)
+
+    def test_corrupt_array_quarantined_and_recovered(self, tmp_path,
+                                                     tiny_system):
+        trace = make_trace("soplex", LENGTH)
+        run_trace_filtered(trace, "slip", config=tiny_system,
+                           store=DiskCaptureStore(str(tmp_path)))
+        (entry,) = [tmp_path / d for d in entry_dirs(tmp_path)]
+        (entry / "ops.npy").write_bytes(b"garbage, not an npy")
+        fresh = DiskCaptureStore(str(tmp_path))
+        key = fingerprint_key(
+            front_end_fingerprint(trace, tiny_system, 0, 0.25))
+        assert fresh.get(key) is None
+        assert not entry.exists()  # quarantined
+        # The driver re-captures and still matches the direct run.
+        filtered = run_trace_filtered(trace, "slip", config=tiny_system,
+                                      store=fresh)
+        assert canonical(filtered) == canonical(
+            run_trace(trace, "slip", config=tiny_system))
+        assert len(entry_dirs(tmp_path)) == 1
+
+    def test_truncated_meta_quarantined(self, tmp_path, tiny_system):
+        trace = make_trace("soplex", LENGTH)
+        run_trace_filtered(trace, "baseline", config=tiny_system,
+                           store=DiskCaptureStore(str(tmp_path)))
+        (entry,) = [tmp_path / d for d in entry_dirs(tmp_path)]
+        (entry / "meta.json").write_text("{not json", encoding="utf-8")
+        key = fingerprint_key(
+            front_end_fingerprint(trace, tiny_system, 0, 0.25))
+        assert DiskCaptureStore(str(tmp_path)).get(key) is None
+        assert not entry.exists()
+
+
+# ----------------------------------------------------------------------
+# Parallel engine integration
+# ----------------------------------------------------------------------
+@pytest.mark.multiproc
+def test_jobs_parity_with_shared_disk_store(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CAPTURE_DIR", str(tmp_path))
+    grid = [
+        RunRequest("soplex", policy, length=2_000)
+        for policy in ("baseline", "slip", "slip_abp")
+    ]
+    serial = run_jobs(grid, jobs=1)
+    parallel = run_jobs(grid, jobs=2)
+    for ours, theirs in zip(serial.results, parallel.results):
+        assert ours.result == theirs.result, ours.request.label()
+    assert len(entry_dirs(tmp_path)) == 1
+
+
+# ----------------------------------------------------------------------
+# Page-grain unification (satellite: shared shift hook)
+# ----------------------------------------------------------------------
+class TestPageShift:
+    def test_shift_derivation(self):
+        assert line_to_page_shift(1) == 0
+        assert line_to_page_shift(16) == 4
+        assert line_to_page_shift(64) == 6
+        assert line_to_page_shift(LINES_PER_PAGE) == 6
+
+    def test_hierarchy_and_trace_agree(self, tiny_system):
+        config = dataclasses.replace(tiny_system, page_size=1024)
+        assert config.lines_per_page == 16
+        hierarchy = build_hierarchy(config, "baseline")
+        assert hierarchy._page_shift == line_to_page_shift(
+            config.lines_per_page)
+        trace = make_trace("soplex", 1_000)
+        expected = int(np.unique(
+            trace.addresses >> hierarchy._page_shift).size)
+        assert trace.footprint_pages(config.lines_per_page) == expected
+
+    def test_default_grain_matches(self, tiny_system):
+        hierarchy = build_hierarchy(tiny_system, "baseline")
+        assert hierarchy._page_shift == line_to_page_shift(
+            LINES_PER_PAGE)
+        trace = make_trace("lbm", 1_000)
+        assert trace.footprint_pages() == int(np.unique(
+            trace.addresses >> hierarchy._page_shift).size)
+
+
+# ----------------------------------------------------------------------
+# Chunked Trace.__iter__
+# ----------------------------------------------------------------------
+def test_trace_iter_chunked_equivalence():
+    rng = np.random.default_rng(0)
+    n = _ITER_CHUNK + 1_234  # spans a chunk boundary
+    addresses = rng.integers(0, 1 << 30, size=n, dtype=np.int64)
+    is_write = rng.random(n) < 0.3
+    trace = Trace("iter-test", addresses, is_write)
+    assert list(trace) == list(zip(addresses.tolist(),
+                                   is_write.tolist()))
