@@ -52,8 +52,12 @@ def sweep(jobs: int) -> int:
 
 
 def test_sweep_throughput_serial(benchmark):
-    assert benchmark.pedantic(sweep, args=(1,),
-                              rounds=2, iterations=1) == N * len(SWEEP_GRID)
+    # One warmup round populates the capture store (capture-through),
+    # so the measured rounds time the replay path — the same protocol
+    # as scripts/throughput_gate.py, which warms before timing.
+    assert benchmark.pedantic(sweep, args=(1,), rounds=2,
+                              warmup_rounds=1,
+                              iterations=1) == N * len(SWEEP_GRID)
 
 
 @pytest.mark.multiproc
@@ -61,5 +65,6 @@ def test_sweep_throughput_serial(benchmark):
                     reason="needs >=2 cores for a meaningful pool sweep")
 def test_sweep_throughput_parallel(benchmark):
     jobs = min(4, os.cpu_count() or 1)
-    assert benchmark.pedantic(sweep, args=(jobs,),
-                              rounds=2, iterations=1) == N * len(SWEEP_GRID)
+    assert benchmark.pedantic(sweep, args=(jobs,), rounds=2,
+                              warmup_rounds=1,
+                              iterations=1) == N * len(SWEEP_GRID)

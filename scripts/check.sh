@@ -68,6 +68,34 @@ EOF
 }
 stage "filtered-replay smoke (filtered == direct)" filtered_smoke
 
+# Vector-replay smoke: every eligible policy kind replayed through the
+# batched numpy kernel must serialize byte-identically to the scalar
+# replay of the same capture.
+vector_smoke() {
+    python - <<'EOF'
+import json
+import os
+from repro.sim.filtered import run_trace_filtered
+from repro.workloads.benchmarks import make_trace
+from repro.workloads.capture_store import MemoryCaptureStore
+
+def canon(result):
+    return json.dumps(result.to_json(), sort_keys=True)
+
+trace = make_trace("soplex", 4000)
+store = MemoryCaptureStore()
+for policy in ("baseline", "nurapid", "lru_pea"):
+    os.environ["REPRO_VECTOR_REPLAY"] = "0"
+    run_trace_filtered(trace, policy, store=store)  # capture-through
+    scalar = canon(run_trace_filtered(trace, policy, store=store))
+    os.environ["REPRO_VECTOR_REPLAY"] = "1"
+    vector = canon(run_trace_filtered(trace, policy, store=store))
+    assert vector == scalar, f"{policy}: vector != scalar"
+del os.environ["REPRO_VECTOR_REPLAY"]
+EOF
+}
+stage "vector-replay smoke (vector == scalar)" vector_smoke
+
 # Determinism smoke: same figure, same seed, serial vs parallel must
 # emit byte-identical results once timing lines ([...]) are stripped.
 det_smoke() {

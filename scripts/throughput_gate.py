@@ -49,8 +49,12 @@ def recorded_mean_s(path: str, name: str) -> float:
 
 
 def _import_bench():
-    sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
-    sys.path.insert(0, os.path.join(REPO_ROOT, "benchmarks"))
+    # Called once per gate; make the path setup idempotent so repeated
+    # calls don't keep prepending duplicate entries to sys.path.
+    for entry in (os.path.join(REPO_ROOT, "src"),
+                  os.path.join(REPO_ROOT, "benchmarks")):
+        if entry not in sys.path:
+            sys.path.insert(0, entry)
     import bench_simulator_throughput
 
     return bench_simulator_throughput

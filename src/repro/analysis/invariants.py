@@ -654,3 +654,76 @@ def check_capture_replay(hierarchy: Any, capture: Any,
                     name,
                     f"merged energy field {fld.name}={value!r}",
                     level=stats.name, counter=fld.name)
+
+
+# ----------------------------------------------------------------------
+# Vector-replay conservation (always on, independent of the env flag)
+# ----------------------------------------------------------------------
+def check_vector_replay(ops: Any, measured: Any, l3_ops: Any,
+                        l3_measured: Any, l2_tally: Any, l3_tally: Any,
+                        *, dram_demand: int, dram_metadata: int) -> None:
+    """``vector-replay-conservation``: audit one batched back-end run.
+
+    Runs inside :func:`repro.sim.vector_replay.replay_capture_vector`
+    before the tallies are published, complementing the end-of-replay
+    ``capture-replay-conservation`` audit with the internal identities
+    of the batched kernel itself:
+
+    * every measured access event of a level's stream was consumed
+      exactly once (hits + misses == events, split by demand/metadata);
+    * every movement read pairs with a movement write;
+    * the derived DRAM read counts equal the L3 miss tallies (every L3
+      access miss is exactly one DRAM read);
+    * a level never absorbs more writebacks than its stream carries.
+    """
+    import numpy as np
+
+    name = "vector-replay-conservation"
+    for label, stream_ops, stream_meas, tally in (
+        ("L2", ops, measured, l2_tally),
+        ("L3", l3_ops, l3_measured, l3_tally),
+    ):
+        demand_events = int(np.count_nonzero(
+            (stream_ops == 0) & stream_meas))
+        metadata_events = int(np.count_nonzero(
+            (stream_ops == 1) & stream_meas))
+        wb_events = int(np.count_nonzero(
+            (stream_ops == 2) & stream_meas))
+        demand_seen = sum(tally.dh_sub) + tally.demand_misses
+        if demand_seen != demand_events:
+            raise InvariantViolation(
+                name,
+                f"kernel consumed {demand_seen} measured demand events "
+                f"of {demand_events} in the stream",
+                level=label, counter="demand_events")
+        metadata_seen = sum(tally.mh_sub) + tally.metadata_misses
+        if metadata_seen != metadata_events:
+            raise InvariantViolation(
+                name,
+                f"kernel consumed {metadata_seen} measured metadata "
+                f"events of {metadata_events} in the stream",
+                level=label, counter="metadata_events")
+        if sum(tally.mvr_sub) != sum(tally.mvw_sub):
+            raise InvariantViolation(
+                name,
+                f"{sum(tally.mvr_sub)} movement reads vs "
+                f"{sum(tally.mvw_sub)} movement writes",
+                level=label, counter="move_events")
+        if sum(tally.wbin_sub) > wb_events:
+            raise InvariantViolation(
+                name,
+                f"absorbed {sum(tally.wbin_sub)} writebacks but the "
+                f"stream carries only {wb_events}",
+                level=label, counter="wb_in_events")
+    if dram_demand != l3_tally.demand_misses:
+        raise InvariantViolation(
+            name,
+            f"{dram_demand} DRAM demand reads vs "
+            f"{l3_tally.demand_misses} L3 demand misses",
+            level="DRAM", counter="dram_demand_reads")
+    if dram_metadata != l3_tally.metadata_misses:
+        raise InvariantViolation(
+            name,
+            f"{dram_metadata} DRAM metadata reads vs "
+            f"{l3_tally.metadata_misses} L3 metadata misses",
+            level="DRAM", counter="dram_metadata_reads")

@@ -87,6 +87,11 @@ class SlipPlacement(PlacementPolicy):
         self._sublevel_by_way = level.sublevel_by_way
         self._track_meta = level.track_metadata_energy
         self._replacement = level.replacement
+        # Timestamp quantisation constants (set once in CacheLevel's
+        # constructor), bound here so the per-fill and per-hit
+        # timestamp updates skip two attribute hops each.
+        self._granule = level._granule
+        self._ts_mask = level._ts_mask
         # Fused-fill page probe: the page table dict, the always-sample
         # flag and this level's default SLIP id are all stable for the
         # runtime's lifetime, so bind them once and skip the
@@ -150,11 +155,11 @@ class SlipPlacement(PlacementPolicy):
         order = orders[rotor % len(orders)]
         victim_way = -1
         best_lru = _INF
-        victim = None
         for way in order:
-            line = victim = lines[way]
+            line = lines[way]
             if not line.valid:
                 victim_way = way
+                victim = line
                 break
             lru = line.lru
             if lru < best_lru:
@@ -199,7 +204,12 @@ class SlipPlacement(PlacementPolicy):
                 victim = lines[victim_way] = Line()
 
         # ----- installation (inlined place_fill over the reused Line;
-        # every slot the general path's reset() clears is re-set) -----
+        # every slot the general path's reset() clears AND some consumer
+        # reads is re-set. The RRIP/SHiP/PEA bookkeeping slots (rrpv,
+        # signature, outcome, demoted) are deliberately left alone:
+        # the fast path requires stock LRU, under which nothing ever
+        # reads or writes them, so they keep their constructor defaults
+        # — same contract as skipping clean-eviction enumeration) -----
         line = victim
         line.valid = True
         line.tag = line_addr
@@ -210,12 +220,8 @@ class SlipPlacement(PlacementPolicy):
         line.page = page
         line.sampling = sampling
         line.is_metadata = is_metadata
-        line.ts = (level.access_counter // level._granule) & level._ts_mask
+        line.ts = (level.access_counter // self._granule) & self._ts_mask
         line.hits = 0
-        line.demoted = False
-        line.rrpv = 0
-        line.signature = 0
-        line.outcome = False
         replacement = self._replacement
         replacement._clock += 1
         line.lru = replacement._clock
@@ -322,9 +328,11 @@ class SlipPlacement(PlacementPolicy):
                     runtime.always_sample
                     or entry.state is PageState.SAMPLING
                 ):
-                    delta = (((level.access_counter // level._granule)
-                              & level._ts_mask) - line.ts) & level._ts_mask
-                    distance = delta * level._granule
+                    granule = self._granule
+                    ts_mask = self._ts_mask
+                    delta = (((level.access_counter // granule)
+                              & ts_mask) - line.ts) & ts_mask
+                    distance = delta * granule
                     # Symmetric to counting misses in the last bin
                     # (Section 4.1): a reference that HIT this level
                     # necessarily had a stack distance below the
@@ -348,4 +356,4 @@ class SlipPlacement(PlacementPolicy):
             if distance > self._max_hit_distance:
                 distance = self._max_hit_distance
             self.runtime.record_reuse(self._level_name, page, distance)
-        line.ts = (level.access_counter // level._granule) & level._ts_mask
+        line.ts = (level.access_counter // self._granule) & self._ts_mask

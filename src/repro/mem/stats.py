@@ -171,6 +171,55 @@ class LevelStats:
             )
         return self
 
+    def adopt_counts(self, *, demand_hits: int, demand_misses: int,
+                     metadata_hits: int, metadata_misses: int,
+                     hits_by_sublevel: List[int],
+                     insert_events: List[int],
+                     move_read_events: List[int],
+                     move_write_events: List[int],
+                     wb_in_events: List[int],
+                     wb_out_events: List[int],
+                     reuse_histogram: Dict[str, int],
+                     default_insertions: int,
+                     movement_queue_events: int = 0,
+                     movement_queue_pj: float = 0.0) -> None:
+        """Publish a batch-computed set of event counts into this stats.
+
+        The merge hook for the vectorized replay kernel
+        (:mod:`repro.sim.vector_replay`): the kernel tallies integer
+        event counts per (sublevel x kind) and this method lands them on
+        the exact fields the scalar hot path would have bumped, keeping
+        the serialization contract (which fields ``asdict`` emits, which
+        are derived) in one place. Derived totals are recomputed here;
+        ``read_events`` mirrors ``hits_by_sublevel`` because every hit
+        bumps both on the scalar path and no other read events exist for
+        the eligible policies. The movement-queue charge is replayed as
+        the same sequence of constant float additions the live path
+        performs, so the accumulated value is bit-identical.
+        """
+        self.demand_hits = demand_hits
+        self.demand_misses = demand_misses
+        self.metadata_hits = metadata_hits
+        self.metadata_misses = metadata_misses
+        self.hits_by_sublevel = list(hits_by_sublevel)
+        self.read_events = list(hits_by_sublevel)
+        self.insert_events = list(insert_events)
+        self.move_read_events = list(move_read_events)
+        self.move_write_events = list(move_write_events)
+        self.wb_in_events = list(wb_in_events)
+        self.wb_out_events = list(wb_out_events)
+        self.insertions = sum(insert_events)
+        self.movements = sum(move_read_events)
+        self.writebacks_in = sum(wb_in_events)
+        self.writebacks_out = sum(wb_out_events)
+        self.insertions_by_class["default"] = default_insertions
+        for key, value in reuse_histogram.items():
+            self.reuse_histogram[key] = value
+        queue_pj = 0.0
+        for _ in range(movement_queue_events):
+            queue_pj += movement_queue_pj
+        self.energy.movement_queue_pj = queue_pj
+
     @property
     def hits(self) -> int:
         return self.demand_hits + self.metadata_hits

@@ -66,11 +66,11 @@ class BaselinePlacement(PlacementPolicy):
         level._alloc_rotor = rotor = (level._alloc_rotor + 1) % 64
         victim_way = -1
         best_lru = _INF
-        victim = None
         for way in self._orders[rotor % self._ways]:
-            line = victim = lines[way]
+            line = lines[way]
             if not line.valid:
                 victim_way = way
+                victim = line
                 break
             lru = line.lru
             if lru < best_lru:
@@ -102,7 +102,11 @@ class BaselinePlacement(PlacementPolicy):
                 victim = lines[victim_way] = Line()
 
         # ----- installation (inlined place_fill over the reused Line;
-        # every slot the general path's reset() clears is re-set) -----
+        # every slot the general path's reset() clears AND some consumer
+        # reads is re-set. The RRIP/SHiP/PEA bookkeeping slots (rrpv,
+        # signature, outcome, demoted) are deliberately left alone: the
+        # fast path requires stock LRU, under which nothing ever reads
+        # or writes them, so they keep their constructor defaults) -----
         line = victim
         line.valid = True
         line.tag = line_addr
@@ -115,10 +119,6 @@ class BaselinePlacement(PlacementPolicy):
         line.is_metadata = is_metadata
         line.ts = (level.access_counter // level._granule) & level._ts_mask
         line.hits = 0
-        line.demoted = False
-        line.rrpv = 0
-        line.signature = 0
-        line.outcome = False
         replacement = level.replacement
         replacement._clock += 1
         line.lru = replacement._clock

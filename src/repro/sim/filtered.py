@@ -91,6 +91,7 @@ from .config import SystemConfig, default_system
 from .results import RunResult, collect_result
 from .single_core import run_trace
 from .timing import execution_time
+from .vector_replay import replay_capture_vector
 
 _FILTERED_ENV = "REPRO_FILTERED"
 _FALSEY = ("0", "false", "no", "off")
@@ -523,7 +524,11 @@ def replay_capture(
         maybe_boost_sampler(runtime, warmup_sampling_boost)
         _replay_slip(hierarchy, trace, capture)
     else:
-        _replay_events(hierarchy, capture)
+        # Batched kernel first; it declines (returns False) whenever
+        # the hierarchy is outside its eligibility matrix, and the
+        # scalar walk below remains the golden reference.
+        if not replay_capture_vector(hierarchy, capture):
+            _replay_events(hierarchy, capture)
 
     # Merge the frozen front end. The replay's own L1 is empty (never
     # filled), so finalize() touches only live L2/L3 state.

@@ -61,6 +61,16 @@ class CaptureError(Exception):
     """A capture could not be produced or failed validation."""
 
 
+class ForeignEntryError(Exception):
+    """A digest directory holds a *different* fingerprint's capture.
+
+    Deliberately not a :class:`CaptureError` (and not an ``OSError``):
+    the entry is healthy, it just belongs to another key whose digest
+    collides with ours, so the caller must treat the lookup as a miss
+    while leaving the entry untouched for its rightful owner.
+    """
+
+
 class TraceCapture:
     """One immutable front-end capture (see module docstring)."""
 
@@ -200,6 +210,11 @@ class DiskCaptureStore:
             return None
         try:
             capture = self._load(path, key)
+        except ForeignEntryError:
+            # Digest collision: the entry is someone else's capture.
+            # A miss, but never a quarantine — deleting it would
+            # destroy the colliding fingerprint's (healthy) entry.
+            return None
         except (OSError, ValueError, KeyError, CaptureError,
                 json.JSONDecodeError):
             # Corrupt/truncated entry: quarantine it so the next run
@@ -220,9 +235,7 @@ class DiskCaptureStore:
         if meta.get("version") != CAPTURE_VERSION:
             raise CaptureError("capture version mismatch")
         if meta.get("key") != key:
-            # Digest collision or foreign entry: treat as a miss but
-            # leave the entry alone (it is someone else's capture).
-            raise OSError("fingerprint mismatch")
+            raise ForeignEntryError("fingerprint mismatch")
         arrays = {
             name: np.load(os.path.join(path, f"{name}.npy"),
                           mmap_mode="r", allow_pickle=False)
@@ -309,6 +322,37 @@ class DiskCaptureStore:
 # ----------------------------------------------------------------------
 _MEMORY_STORE = MemoryCaptureStore()
 _DISK_STORES: Dict[Tuple[str, int], DiskCaptureStore] = {}
+_WARNED_MAX_MB: set = set()
+
+
+def _resolve_max_mb() -> int:
+    """``REPRO_CAPTURE_MAX_MB``, validated and clamped to >= 1 MB.
+
+    A zero or negative cap would make ``_evict`` delete every entry
+    except the one just written, so each sweep worker re-captures on
+    every cell; garbage falls back to the default the same way. Either
+    warns on stderr once per distinct bad value per process.
+    """
+    import sys
+
+    raw = os.environ.get(CAPTURE_MAX_MB_ENV, "").strip()
+    if not raw:
+        return _DEFAULT_MAX_MB
+    try:
+        max_mb = int(raw)
+    except ValueError:
+        max_mb = 0
+    if max_mb >= 1:
+        return max_mb
+    if raw not in _WARNED_MAX_MB:
+        _WARNED_MAX_MB.add(raw)
+        print(
+            f"repro: ignoring {CAPTURE_MAX_MB_ENV}={raw!r} "
+            f"(need an integer >= 1); using the "
+            f"{_DEFAULT_MAX_MB} MB default",
+            file=sys.stderr,
+        )
+    return _DEFAULT_MAX_MB
 
 
 def default_store():
@@ -321,11 +365,7 @@ def default_store():
     root = os.environ.get(CAPTURE_DIR_ENV, "").strip()
     if not root:
         return _MEMORY_STORE
-    raw = os.environ.get(CAPTURE_MAX_MB_ENV, "").strip()
-    try:
-        max_mb = int(raw) if raw else _DEFAULT_MAX_MB
-    except ValueError:
-        max_mb = _DEFAULT_MAX_MB
+    max_mb = _resolve_max_mb()
     cache_key = (os.path.abspath(root), max_mb)
     store = _DISK_STORES.get(cache_key)
     if store is None:

@@ -348,3 +348,65 @@ def test_trace_iter_chunked_equivalence():
     trace = Trace("iter-test", addresses, is_write)
     assert list(trace) == list(zip(addresses.tolist(),
                                    is_write.tolist()))
+
+
+# ----------------------------------------------------------------------
+# Capture-store correctness fixes (PR 6 satellites)
+# ----------------------------------------------------------------------
+class TestDigestCollision:
+    def test_foreign_entry_is_miss_not_quarantine(self, tmp_path,
+                                                  monkeypatch,
+                                                  tiny_system):
+        """Two keys forced into one digest dir: the second key's get()
+        is a miss that leaves the first key's capture intact."""
+        import repro.workloads.capture_store as cs
+
+        monkeypatch.setattr(cs, "key_digest", lambda key: "collision")
+        trace_a = make_trace("soplex", 1_200)
+        run_trace_filtered(trace_a, "baseline", config=tiny_system,
+                           store=cs.DiskCaptureStore(str(tmp_path)))
+        assert entry_dirs(tmp_path) == ["collision"]
+
+        trace_b = make_trace("lbm", 1_200)
+        key_b = fingerprint_key(
+            front_end_fingerprint(trace_b, tiny_system, 0, 0.25))
+        fresh = cs.DiskCaptureStore(str(tmp_path))
+        assert fresh.get(key_b) is None          # miss, not an error
+        assert entry_dirs(tmp_path) == ["collision"]  # not deleted
+
+        key_a = fingerprint_key(
+            front_end_fingerprint(trace_a, tiny_system, 0, 0.25))
+        survivor = cs.DiskCaptureStore(str(tmp_path)).get(key_a)
+        assert survivor is not None
+        assert survivor.n == 1_200
+
+
+class TestMaxMbClamp:
+    def test_bad_values_fall_back_to_default(self, tmp_path,
+                                             monkeypatch, capsys):
+        import repro.workloads.capture_store as cs
+
+        monkeypatch.setenv(cs.CAPTURE_DIR_ENV, str(tmp_path))
+        monkeypatch.setattr(cs, "_WARNED_MAX_MB", set())
+        for bad in ("0", "-5", "junk"):
+            monkeypatch.setenv(cs.CAPTURE_MAX_MB_ENV, bad)
+            store = cs.default_store()
+            assert store.max_bytes == cs._DEFAULT_MAX_MB * 1024 * 1024
+            assert cs.CAPTURE_MAX_MB_ENV in capsys.readouterr().err
+        monkeypatch.setenv(cs.CAPTURE_MAX_MB_ENV, "7")
+        assert cs.default_store().max_bytes == 7 * 1024 * 1024
+        # Valid values warn nothing.
+        assert capsys.readouterr().err == ""
+
+    def test_zero_cap_no_longer_evicts_everything(self, tmp_path,
+                                                  monkeypatch,
+                                                  tiny_system):
+        """Regression: REPRO_CAPTURE_MAX_MB=0 used to make _evict
+        delete every entry except the one just written."""
+        monkeypatch.setenv("REPRO_CAPTURE_DIR", str(tmp_path))
+        monkeypatch.setenv("REPRO_CAPTURE_MAX_MB", "0")
+        run_trace_filtered(make_trace("soplex", 1_200), "baseline",
+                           config=tiny_system)
+        run_trace_filtered(make_trace("lbm", 1_200), "baseline",
+                           config=tiny_system)
+        assert len(entry_dirs(tmp_path)) == 2
