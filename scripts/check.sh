@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # One-shot pre-merge gate for this repo. Runs the tier-1 test suite,
-# the slip-lint static checks, and a determinism smoke (fixed-seed
-# byte-identity of the CLI across serial and parallel runs).
+# the slip-lint and slip-audit static checks (plus ruff when it is
+# installed), and a determinism smoke (fixed-seed byte-identity of the
+# CLI across serial and parallel runs).
 #
 # Usage: scripts/check.sh [--fast]
 #   --fast   skip the full pytest run; lint + determinism smoke only.
@@ -38,6 +39,18 @@ if [ "$fast" -eq 0 ]; then
 fi
 
 stage "slip-lint (static checks)" python -m repro.analysis.lint src/
+
+stage "slip-audit (twin-path + taint)" python -m repro.analysis.audit src/
+
+# Generic python lint, only when the tool exists in the environment
+# (the CI image does not ship ruff; a missing linter is a skip, not a
+# failure).
+if command -v ruff >/dev/null 2>&1; then
+    stage "ruff (generic python lint)" ruff check src/ tests/ scripts/
+else
+    echo "==> ruff (generic python lint)"
+    echo "    SKIP: ruff not installed"
+fi
 
 # Throughput regression gates: re-time the slip_abp drive and the
 # serial (filtered-replay) sweep; fail if either lands >20% above the

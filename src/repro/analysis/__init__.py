@@ -5,6 +5,10 @@ Two pillars keep the reproduction's accounting trustworthy:
 * :mod:`repro.analysis.lint` / :mod:`repro.analysis.rules` — the
   ``slip-lint`` AST pass with simulator-specific rules (SLIP001...),
   runnable as ``slip-lint src/`` or ``python -m repro.analysis.lint``;
+* :mod:`repro.analysis.audit` (on :mod:`repro.analysis.dataflow` and
+  :mod:`repro.analysis.effects`) — the ``slip-audit`` twin-path drift
+  and determinism-taint pass (SLIP010-SLIP014), runnable as
+  ``slip-audit src/`` or ``python -m repro.analysis.audit``;
 * :mod:`repro.analysis.invariants` — the ``REPRO_CHECK_INVARIANTS=1``
   runtime mode installing conservation/consistency checkers on every
   :class:`~repro.mem.hierarchy.MemoryHierarchy`.
@@ -24,18 +28,33 @@ from .invariants import (
 from .rules import RULES, Finding, lint_source, module_parts_of
 
 
+_AUDIT_EXPORTS = ("audit_paths", "audit_sources", "TWIN_REGISTRY",
+                  "AUDIT_RULES", "TwinPair", "explain_pair")
+
+
 def __getattr__(name):
-    # Lazy so `python -m repro.analysis.lint` doesn't import the CLI
-    # module twice (runpy warns when __init__ eagerly imports it).
+    # Lazy so `python -m repro.analysis.lint` (or `.audit`) doesn't
+    # import the CLI module twice (runpy warns when __init__ eagerly
+    # imports it).
     if name == "lint_paths":
         from .lint import lint_paths
 
         return lint_paths
+    if name in _AUDIT_EXPORTS:
+        from . import audit
+
+        return getattr(audit, name)
     raise AttributeError(name)
 
 __all__ = [
+    "AUDIT_RULES",
     "RULES",
     "Finding",
+    "TWIN_REGISTRY",
+    "TwinPair",
+    "audit_paths",
+    "audit_sources",
+    "explain_pair",
     "HierarchyInvariantChecker",
     "InvariantViolation",
     "LevelChecker",

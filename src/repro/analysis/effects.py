@@ -1,0 +1,403 @@
+"""Per-function effect summaries and interprocedural expansion.
+
+Built on :mod:`repro.analysis.dataflow`, this module answers the
+question the twin-path audit needs: *which counters can this function
+mutate, directly or through its callees?*
+
+An :class:`EffectSummary` records, for one function body:
+
+* every attribute/subscript **write path** (normalized through the
+  local alias environment — ``stats = level.stats; stats.hits += 1``
+  records ``level.stats.hits``);
+* every **call site** with its normalized receiver path;
+* the direct **counter write sites** (key, line) — the unit of the
+  mutation tests: delete one line and the site multiset changes.
+
+:func:`counter_key` classifies a write path into the repo's accounting
+vocabulary: any path through a ``stats`` or ``counters`` segment is a
+counter (keyed from that segment on, so ``level.stats.insertions`` and
+``self.stats.insertions`` agree), and a small set of structural state
+tails (``valid_count``, ``_clock``, ``_alloc_rotor``,
+``access_counter``) are compared by bare tail name because fast paths
+reach them through attach-time aliases (``self._replacement._clock``)
+that intraprocedural analysis cannot connect to ``level.replacement``.
+
+:class:`SummaryIndex` holds every function of the analyzed tree and
+computes **expanded** write sets: a function's own writes plus the
+(receiver-substituted) expanded writes of everything it calls. Call
+resolution is name-based — same-class methods win for ``self.`` calls,
+bare names resolve to module-level functions, anything else falls back
+to a global method-name index — with a cycle guard and memoization so
+the whole tree expands in one linear pass. The resolution is a
+deliberate over-approximation: twin comparisons subtract symmetric
+noise, and each registry pair carries an ``ignore`` set for the rest.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import (Dict, FrozenSet, Iterable, List, Mapping, Optional,
+                    Sequence, Set, Tuple)
+
+from .dataflow import (
+    SUBSCRIPT,
+    FunctionInfo,
+    dotted_path,
+    index_functions,
+    path_segments,
+    resolve_guard_branch,
+    terminal_attr,
+)
+
+#: Path segments that anchor the accounting vocabulary.
+COUNTER_SEGMENTS = ("stats", "counters")
+
+#: Structural state mutated by both fused and checked paths, reached
+#: through different aliases; compared by bare tail attribute name.
+STATE_COUNTER_TAILS = frozenset({
+    "valid_count", "_clock", "_alloc_rotor", "access_counter",
+})
+
+#: Receiver sentinel for attribute calls whose base expression has no
+#: normalizable path (``type(x).foo()``, chained call results).
+UNKNOWN_RECEIVER = "<expr>"
+
+
+def counter_key(path: str) -> Optional[str]:
+    """Classify a normalized write path as an accounting counter.
+
+    Returns the counter key (``stats.demand_hits``,
+    ``counters.l1_hits``, ``stats.wb_out_events[]``, bare ``_clock``)
+    or ``None`` for non-accounting state.
+    """
+    segments = path_segments(path)
+    for idx, segment in enumerate(segments):
+        if segment.replace(SUBSCRIPT, "") in COUNTER_SEGMENTS:
+            return ".".join([segment.replace(SUBSCRIPT, "")]
+                            + segments[idx + 1:])
+    tail = terminal_attr(path)
+    if tail in STATE_COUNTER_TAILS:
+        return tail
+    return None
+
+
+def counter_keys(paths: Iterable[str]) -> Set[str]:
+    """The set of counter keys among a collection of write paths."""
+    out: Set[str] = set()
+    for path in paths:
+        key = counter_key(path)
+        if key is not None:
+            out.add(key)
+    return out
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One call expression: receiver path (or None for bare names)."""
+
+    receiver: Optional[str]
+    name: str
+    line: int
+
+
+@dataclass(frozen=True)
+class EffectSummary:
+    """Intraprocedural effects of one function body."""
+
+    writes: FrozenSet[str]
+    calls: Tuple[CallSite, ...]
+    counter_sites: Tuple[Tuple[str, int], ...]   # (key, line), direct
+
+
+class _Extractor:
+    """One forward pass over a function body collecting effects."""
+
+    def __init__(self, assume: Optional[Mapping[str, bool]]) -> None:
+        self.assume = dict(assume or {})
+        self.aliases: Dict[str, str] = {}
+        self.writes: Set[str] = set()
+        self.calls: List[CallSite] = []
+        self.counter_sites: List[Tuple[str, int]] = []
+
+    # -- expressions ---------------------------------------------------
+    def collect_calls(self, expr: Optional[ast.AST]) -> None:
+        if expr is None:
+            return
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Call):
+                self._record_call(node)
+
+    def _record_call(self, call: ast.Call) -> None:
+        func = call.func
+        if isinstance(func, ast.Attribute):
+            receiver = dotted_path(func.value, self.aliases)
+            if receiver is None:
+                receiver = UNKNOWN_RECEIVER
+            self.calls.append(CallSite(receiver, func.attr, call.lineno))
+        elif isinstance(func, ast.Name):
+            aliased = self.aliases.get(func.id)
+            if aliased and "." in aliased:
+                # Hoisted bound method: wb = h._writeback_below_l1; wb(x)
+                receiver, _, name = aliased.rpartition(".")
+                self.calls.append(CallSite(receiver, name, call.lineno))
+            else:
+                self.calls.append(CallSite(None, func.id, call.lineno))
+
+    # -- write targets -------------------------------------------------
+    def _kill_name(self, name: str) -> None:
+        self.aliases.pop(name, None)
+
+    def _write_target(self, target: ast.AST) -> None:
+        if isinstance(target, ast.Name):
+            self._kill_name(target.id)
+            return
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._write_target(elt)
+            return
+        if isinstance(target, ast.Starred):
+            self._write_target(target.value)
+            return
+        path = dotted_path(target, self.aliases)
+        if path is None:
+            return
+        self.writes.add(path)
+        key = counter_key(path)
+        if key is not None:
+            self.counter_sites.append((key, getattr(target, "lineno", 0)))
+
+    # -- statements ----------------------------------------------------
+    def process(self, stmts: Iterable[ast.stmt]) -> bool:
+        """Process a statement sequence; True if control cannot fall
+        through past it (it ends in ``return``/``raise``/... under the
+        current guard assumptions). Statements after the terminator are
+        unreachable and contribute nothing — this is what separates the
+        two sides of a ``if not gate: return general()`` dispatch."""
+        for stmt in stmts:
+            if self._stmt(stmt):
+                return True
+        return False
+
+    def _stmt(self, stmt: ast.stmt) -> bool:
+        if isinstance(stmt, ast.Assign):
+            self.collect_calls(stmt.value)
+            value_path = dotted_path(stmt.value, self.aliases)
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    if value_path is not None:
+                        self.aliases[target.id] = value_path
+                    else:
+                        self._kill_name(target.id)
+                else:
+                    self.collect_calls(target)   # index expressions
+                    self._write_target(target)
+        elif isinstance(stmt, ast.AnnAssign):
+            self.collect_calls(stmt.value)
+            if isinstance(stmt.target, ast.Name):
+                value_path = (dotted_path(stmt.value, self.aliases)
+                              if stmt.value is not None else None)
+                if value_path is not None:
+                    self.aliases[stmt.target.id] = value_path
+                else:
+                    self._kill_name(stmt.target.id)
+            elif stmt.value is not None:
+                self.collect_calls(stmt.target)
+                self._write_target(stmt.target)
+        elif isinstance(stmt, ast.AugAssign):
+            self.collect_calls(stmt.value)
+            if isinstance(stmt.target, ast.Name):
+                self._kill_name(stmt.target.id)
+            else:
+                self.collect_calls(stmt.target)
+                self._write_target(stmt.target)
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    self._kill_name(target.id)
+                else:
+                    self.collect_calls(target)
+                    self._write_target(target)
+        elif isinstance(stmt, ast.Expr):
+            self.collect_calls(stmt.value)
+        elif isinstance(stmt, (ast.Return, ast.Raise)):
+            self.collect_calls(getattr(stmt, "value", None))
+            self.collect_calls(getattr(stmt, "exc", None))
+            self.collect_calls(getattr(stmt, "cause", None))
+            return True
+        elif isinstance(stmt, (ast.Break, ast.Continue)):
+            # Terminal for the enclosing block (statements after it in
+            # the same suite never run in any iteration); the loop
+            # itself still falls through.
+            return True
+        elif isinstance(stmt, ast.Assert):
+            self.collect_calls(stmt.test)
+            self.collect_calls(stmt.msg)
+        elif isinstance(stmt, ast.If):
+            self.collect_calls(stmt.test)
+            branch = resolve_guard_branch(stmt, self.assume)
+            if branch is not None:
+                return self.process(branch)
+            body_term = self.process(stmt.body)
+            orelse_term = self.process(stmt.orelse)
+            return body_term and bool(stmt.orelse) and orelse_term
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self.collect_calls(stmt.iter)
+            self._write_target(stmt.target)
+            self.process(stmt.body)
+            self.process(stmt.orelse)
+        elif isinstance(stmt, ast.While):
+            self.collect_calls(stmt.test)
+            self.process(stmt.body)
+            self.process(stmt.orelse)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                self.collect_calls(item.context_expr)
+                if item.optional_vars is not None:
+                    self._write_target(item.optional_vars)
+            return self.process(stmt.body)
+        elif isinstance(stmt, ast.Try):
+            # Conservative: any prefix of the body may raise into a
+            # handler, so nothing here is treated as terminal.
+            self.process(stmt.body)
+            for handler in stmt.handlers:
+                self.process(handler.body)
+            self.process(stmt.orelse)
+            self.process(stmt.finalbody)
+        # FunctionDef / ClassDef / Import / Pass / Global / Nonlocal:
+        # no effects at this scope.
+        return False
+
+
+def extract_effects(fn: ast.AST,
+                    assume: Optional[Mapping[str, bool]] = None
+                    ) -> EffectSummary:
+    """Intraprocedural effect summary of one function node.
+
+    ``assume`` maps gate attribute names to an assumed truth value;
+    ``if`` tests that are exactly one gate read are resolved to the
+    matching branch (see :func:`dataflow.resolve_guard_branch`), which
+    is how the same source yields fused-path and reference-path
+    summaries.
+    """
+    extractor = _Extractor(assume)
+    extractor.process(getattr(fn, "body", []))
+    return EffectSummary(
+        writes=frozenset(extractor.writes),
+        calls=tuple(extractor.calls),
+        counter_sites=tuple(extractor.counter_sites),
+    )
+
+
+def substitute_receiver(path: str, receiver: Optional[str]) -> str:
+    """Rebase a callee's ``self.``-rooted write path onto the caller's
+    receiver: callee ``self.stats.insertions`` called as
+    ``level.place_fill(...)`` becomes ``level.stats.insertions``."""
+    root, sep, rest = path.partition(".")
+    if root in ("self", "cls") and receiver not in (None, UNKNOWN_RECEIVER):
+        return f"{receiver}{sep}{rest}" if sep else str(receiver)
+    return path
+
+
+class SummaryIndex:
+    """All functions of an analyzed tree, with expansion and memoization.
+
+    ``trees`` maps file path -> parsed module AST. Functions are
+    addressable by qualified name (``ClassName.method`` or bare
+    function name); collisions across files keep every definition and
+    :meth:`find` returns the first in sorted-path order.
+    """
+
+    def __init__(self, trees: Mapping[str, ast.AST]) -> None:
+        self.functions: List[FunctionInfo] = []
+        self.by_qualname: Dict[str, List[FunctionInfo]] = {}
+        self.by_name: Dict[str, List[FunctionInfo]] = {}
+        for path in sorted(trees):
+            for info in index_functions(trees[path], path):
+                self.functions.append(info)
+                self.by_qualname.setdefault(info.qualname, []).append(info)
+                self.by_name.setdefault(info.name, []).append(info)
+        self._summaries: Dict[Tuple[int, FrozenSet], EffectSummary] = {}
+        self._expanded: Dict[Tuple[int, FrozenSet], FrozenSet[str]] = {}
+        self._in_progress: Set[Tuple[int, FrozenSet]] = set()
+
+    # -- lookup --------------------------------------------------------
+    def find(self, qualname: str) -> Optional[FunctionInfo]:
+        candidates = self.by_qualname.get(qualname)
+        return candidates[0] if candidates else None
+
+    def resolve_call(self, caller: FunctionInfo,
+                     call: CallSite) -> List[FunctionInfo]:
+        """Name-based callee resolution (see module docstring)."""
+        if call.receiver == "self" and caller.cls is not None:
+            own = self.by_qualname.get(f"{caller.cls}.{call.name}")
+            if own:
+                return own[:1]
+        candidates = self.by_name.get(call.name, [])
+        if call.receiver is None:
+            # Bare-name call: only same-file module-level functions can
+            # match. Constructors and builtins stay out, and a local
+            # variable that happens to share a name with some other
+            # module's function (`run = _RUNNERS[kind]; run(...)`)
+            # cannot drag that module's writes into the summary.
+            return [c for c in candidates
+                    if c.cls is None and c.path == caller.path]
+        return list(candidates)
+
+    # -- summaries -----------------------------------------------------
+    @staticmethod
+    def _key(info: FunctionInfo,
+             assume: Optional[Mapping[str, bool]]) -> Tuple[int, FrozenSet]:
+        return (id(info.node), frozenset((assume or {}).items()))
+
+    def summary(self, info: FunctionInfo,
+                assume: Optional[Mapping[str, bool]] = None
+                ) -> EffectSummary:
+        key = self._key(info, assume)
+        if key not in self._summaries:
+            self._summaries[key] = extract_effects(info.node, assume)
+        return self._summaries[key]
+
+    def expanded_writes(self, info: FunctionInfo,
+                        assume: Optional[Mapping[str, bool]] = None
+                        ) -> FrozenSet[str]:
+        """Write paths of ``info`` plus its transitive callees.
+
+        ``assume`` conditions only the top-level function; callees are
+        expanded unconditioned (their own gates stay may-effects).
+        Cycles fall back to the in-progress function's intraprocedural
+        writes.
+        """
+        key = self._key(info, assume)
+        cached = self._expanded.get(key)
+        if cached is not None:
+            return cached
+        if key in self._in_progress:
+            return self.summary(info, assume).writes
+        self._in_progress.add(key)
+        try:
+            summary = self.summary(info, assume)
+            writes = set(summary.writes)
+            for call in summary.calls:
+                for callee in self.resolve_call(info, call):
+                    if callee.node is info.node:
+                        continue
+                    for sub in self.expanded_writes(callee):
+                        writes.add(substitute_receiver(sub, call.receiver))
+            result = frozenset(writes)
+        finally:
+            self._in_progress.discard(key)
+        self._expanded[key] = result
+        return result
+
+    def expanded_counter_keys(self, info: FunctionInfo,
+                              assume: Optional[Mapping[str, bool]] = None
+                              ) -> Set[str]:
+        """Counter keys reachable from ``info`` (writes + callees)."""
+        return counter_keys(self.expanded_writes(info, assume))
+
+    def direct_counter_sites(self, info: FunctionInfo,
+                             assume: Optional[Mapping[str, bool]] = None
+                             ) -> Sequence[Tuple[str, int]]:
+        """Direct (un-expanded) counter write sites of ``info``."""
+        return self.summary(info, assume).counter_sites

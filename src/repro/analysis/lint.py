@@ -19,7 +19,7 @@ import sys
 from typing import Iterable, List, Optional
 
 from .reporting import render_json, render_rule_catalog, render_text
-from .rules import RULES, Finding, lint_source
+from .rules import RULES, SYNTAX_ERROR_CODE, Finding, lint_source
 
 #: Directory names never descended into during discovery.
 _SKIP_DIRS = {".git", "__pycache__", ".venv", "venv", "build", "dist",
@@ -45,6 +45,27 @@ def discover_files(paths: Iterable[str]) -> List[str]:
     return sorted(dict.fromkeys(out))
 
 
+def read_source(file_path: str) -> "tuple[Optional[str], Optional[Finding]]":
+    """Read one source file; (source, None) or (None, SLIP999 finding).
+
+    A file that is not valid UTF-8 (or is unreadable) must not abort
+    the whole scan: it becomes a per-file always-on finding — the same
+    contract as a syntax error — and the scan continues.
+    """
+    try:
+        with open(file_path, "r", encoding="utf-8") as handle:
+            return handle.read(), None
+    except UnicodeDecodeError as exc:
+        return None, Finding(
+            path=file_path, line=1, col=0, code=SYNTAX_ERROR_CODE,
+            message=(f"file is not valid UTF-8 "
+                     f"(byte offset {exc.start}): {exc.reason}"))
+    except OSError as exc:
+        return None, Finding(
+            path=file_path, line=1, col=0, code=SYNTAX_ERROR_CODE,
+            message=f"cannot read file: {exc.strerror or exc}")
+
+
 def lint_paths(paths: Iterable[str],
                select: Optional[List[str]] = None
                ) -> "tuple[List[Finding], int]":
@@ -52,8 +73,10 @@ def lint_paths(paths: Iterable[str],
     files = discover_files(paths)
     findings: List[Finding] = []
     for file_path in files:
-        with open(file_path, "r", encoding="utf-8") as handle:
-            source = handle.read()
+        source, failure = read_source(file_path)
+        if failure is not None:
+            findings.append(failure)
+            continue
         findings.extend(lint_source(source, path=file_path, select=select))
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
     return findings, len(files)

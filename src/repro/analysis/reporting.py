@@ -1,14 +1,15 @@
-"""Reporters for slip-lint findings: human text and machine JSON."""
+"""Reporters shared by slip-lint and slip-audit: text and JSON."""
 
 from __future__ import annotations
 
 import json
 from typing import Dict, List, Sequence
 
-from .rules import RULES, Finding
+from .rules import RULES, SYNTAX_ERROR_CODE, Finding
 
 
-def render_text(findings: Sequence[Finding], files_scanned: int) -> str:
+def render_text(findings: Sequence[Finding], files_scanned: int,
+                tool: str = "slip-lint") -> str:
     """Classic path:line:col one-per-line report with a summary tail."""
     lines = [f.render() for f in findings]
     by_code: Dict[str, int] = {}
@@ -19,20 +20,21 @@ def render_text(findings: Sequence[Finding], files_scanned: int) -> str:
             f"{code} x{count}" for code, count in sorted(by_code.items())
         )
         lines.append(
-            f"slip-lint: {len(findings)} finding(s) in "
+            f"{tool}: {len(findings)} finding(s) in "
             f"{files_scanned} file(s) scanned ({breakdown})"
         )
     else:
         lines.append(
-            f"slip-lint: clean ({files_scanned} file(s) scanned)"
+            f"{tool}: clean ({files_scanned} file(s) scanned)"
         )
     return "\n".join(lines)
 
 
-def render_json(findings: Sequence[Finding], files_scanned: int) -> str:
+def render_json(findings: Sequence[Finding], files_scanned: int,
+                tool: str = "slip-lint") -> str:
     """Stable JSON for CI consumption (sorted keys, no wall-clock)."""
     payload = {
-        "tool": "slip-lint",
+        "tool": tool,
         "files_scanned": files_scanned,
         "count": len(findings),
         "findings": [
@@ -49,9 +51,20 @@ def render_json(findings: Sequence[Finding], files_scanned: int) -> str:
     return json.dumps(payload, indent=2, sort_keys=True)
 
 
-def render_rule_catalog() -> str:
-    """The --list-rules output; ANALYSIS.md holds the long-form docs."""
+def render_rule_catalog(rules: Sequence = RULES) -> str:
+    """The --list-rules output; ANALYSIS.md holds the long-form docs.
+
+    Works for any sequence of objects with code/name/summary (slip-lint
+    Rule instances or slip-audit AuditRule records), and always appends
+    the SLIP999 line: parse/decode failures are reported by both tools
+    regardless of ``--select``.
+    """
     lines = []
-    for rule in RULES:
+    for rule in rules:
         lines.append(f"{rule.code}  {rule.name}: {rule.summary}")
+    lines.append(
+        f"{SYNTAX_ERROR_CODE}  syntax-error: file fails to parse or "
+        f"decode; always on — reported even when --select names other "
+        f"rules"
+    )
     return "\n".join(lines)

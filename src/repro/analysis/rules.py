@@ -17,6 +17,12 @@ import re
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
+#: The always-on diagnostic code for files that fail to parse or
+#: decode. Not a Rule instance: it can never be deselected (a file the
+#: linter cannot read is a finding regardless of ``--select``) and both
+#: slip-lint and slip-audit emit it.
+SYNTAX_ERROR_CODE = "SLIP999"
+
 #: Packages whose code runs inside the simulator hot loop; wall-clock
 #: reads and unslotted metadata classes are only hazards there.
 SIM_PACKAGES: Tuple[Tuple[str, ...], ...] = (
@@ -420,7 +426,8 @@ RULES: Tuple[Rule, ...] = (
 # Pragma handling
 # ----------------------------------------------------------------------
 _PRAGMA = re.compile(
-    r"#\s*slip-lint\s*:\s*disable(?P<file>-file)?\s*=\s*"
+    r"#\s*(?P<tool>slip-lint|slip-audit)\s*:\s*"
+    r"disable(?P<file>-file)?\s*=\s*"
     r"(?P<codes>[A-Za-z0-9_,\s]+)"
 )
 
@@ -429,14 +436,19 @@ def _parse_codes(raw: str) -> Tuple[str, ...]:
     return tuple(c.strip().upper() for c in raw.split(",") if c.strip())
 
 
-def suppressed(findings: List[Finding], source: str) -> List[Finding]:
-    """Drop findings disabled by line or file pragmas."""
+def suppressed(findings: List[Finding], source: str,
+               tool: str = "slip-lint") -> List[Finding]:
+    """Drop findings disabled by line or file pragmas.
+
+    Pragmas are tool-scoped: ``# slip-audit: disable=SLIP013`` only
+    suppresses slip-audit findings, never slip-lint's, and vice versa.
+    """
     lines = source.splitlines()
     file_disabled: set = set()
     line_disabled: dict = {}
     for lineno, text in enumerate(lines, start=1):
         match = _PRAGMA.search(text)
-        if not match:
+        if not match or match.group("tool") != tool:
             continue
         codes = _parse_codes(match.group("codes"))
         if match.group("file"):
@@ -467,8 +479,11 @@ def lint_source(source: str, path: str = "<string>",
     try:
         tree = ast.parse(source, filename=path)
     except SyntaxError as exc:
+        # SLIP999 is always-on by construction: this return precedes
+        # the ``select`` filter below, so a parse failure is reported
+        # even under the narrowest ``--select``.
         return [Finding(path=path, line=exc.lineno or 1,
-                        col=(exc.offset or 1) - 1, code="SLIP999",
+                        col=(exc.offset or 1) - 1, code=SYNTAX_ERROR_CODE,
                         message=f"syntax error: {exc.msg}")]
     findings: List[Finding] = []
     wanted = {c.upper() for c in select} if select else None

@@ -108,6 +108,7 @@ class SlipPlacement(PlacementPolicy):
             return self._default_id
         return self.runtime.policy_for(self._level_name, page)
 
+    # slip-audit: twin=slip-fill role=fast
     def fill(self, line_addr: int, page: int = -1, dirty: bool = False,
              is_metadata: bool = False) -> FillOutcome:
         level = self.level
@@ -234,6 +235,7 @@ class SlipPlacement(PlacementPolicy):
             self._cascade(set_idx, cascade_victim, outcome)
         return outcome
 
+    # slip-audit: twin=slip-fill role=ref
     def _fill_general(self, line_addr: int, *, page: int = -1,
                       dirty: bool = False,
                       is_metadata: bool = False) -> FillOutcome:

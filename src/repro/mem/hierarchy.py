@@ -132,6 +132,7 @@ class MemoryHierarchy:
     # ------------------------------------------------------------------
     # Public access entry point
     # ------------------------------------------------------------------
+    # slip-audit: twin=l1-access role=fast
     def access(self, line_addr: int, is_write: bool = False) -> int:
         """One demand access; returns its total latency in cycles.
 
@@ -197,6 +198,7 @@ class MemoryHierarchy:
         return latency
 
     # ------------------------------------------------------------------
+    # slip-audit: twin=below-l1 role=fast
     def _access_below_l1(self, line_addr: int, is_metadata: bool,
                          page: int) -> int:
         """Access L2 -> L3 -> DRAM; fill missing levels on the way back.
@@ -327,6 +329,7 @@ class MemoryHierarchy:
     # ------------------------------------------------------------------
     # Writeback paths (write-no-allocate below the originating level)
     # ------------------------------------------------------------------
+    # slip-audit: twin=wb-l2 role=fast
     def _writeback_below_l1(self, line_addr: int) -> None:
         l2 = self.l2
         l2.access_counter = (l2.access_counter + 1) % l2.timestamp_wrap
@@ -343,6 +346,7 @@ class MemoryHierarchy:
             return
         self._writeback_to_l3(line_addr)
 
+    # slip-audit: twin=wb-l3 role=fast
     def _writeback_to_l3(self, line_addr: int) -> None:
         l3 = self.l3
         l3.access_counter = (l3.access_counter + 1) % l3.timestamp_wrap

@@ -51,6 +51,7 @@ class BaselinePlacement(PlacementPolicy):
         )
         self._ways = ways
 
+    # slip-audit: twin=baseline-fill role=fast
     def fill(self, line_addr: int, page: int = -1, dirty: bool = False,
              is_metadata: bool = False) -> FillOutcome:
         level = self.level
@@ -129,6 +130,7 @@ class BaselinePlacement(PlacementPolicy):
         stats.insertions_by_class["default"] += 1
         return outcome
 
+    # slip-audit: twin=baseline-fill role=ref
     def _fill_general(self, line_addr: int, *, page: int = -1,
                       dirty: bool = False,
                       is_metadata: bool = False) -> FillOutcome:

@@ -394,6 +394,7 @@ def _restore_level_stats(payload: Dict) -> LevelStats:
 # ----------------------------------------------------------------------
 # Replay
 # ----------------------------------------------------------------------
+# slip-audit: twin=vector-replay role=ref
 def _replay_events(hierarchy, capture: TraceCapture) -> None:
     """Baseline-kind replay: feed the flat event stream verbatim."""
     ops = capture.ops.tolist()

@@ -690,6 +690,7 @@ def _publish_level(level, tally: _LevelTally, mq_pj: float) -> None:
     )
 
 
+# slip-audit: twin=vector-replay role=fast
 def replay_capture_vector(hierarchy, capture: TraceCapture) -> bool:
     """Batched replay of a baseline-kind capture; False to fall back.
 

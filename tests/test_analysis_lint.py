@@ -411,6 +411,56 @@ def test_module_entry_point_runs():
 
 
 # ----------------------------------------------------------------------
+# Robustness: one unreadable file must not abort the whole run
+# ----------------------------------------------------------------------
+def test_non_utf8_file_reported_and_scan_continues(tmp_path):
+    (tmp_path / "garbled.py").write_bytes(b"x = 1\n\xff\xfe\x00bad\n")
+    (tmp_path / "repro" / "mem").mkdir(parents=True)
+    bad = tmp_path / "repro" / "mem" / "bad.py"
+    bad.write_text("import random\nrng = random.Random()\n")
+
+    findings, files_scanned = lint_paths([str(tmp_path)])
+    assert files_scanned == 2
+    by_code = {f.code for f in findings}
+    # The decode failure is a finding, not a crash...
+    assert "SLIP999" in by_code
+    decode = next(f for f in findings if f.code == "SLIP999")
+    assert "not valid UTF-8" in decode.message
+    assert decode.path.endswith("garbled.py")
+    # ...and the other file was still scanned.
+    assert "SLIP001" in by_code
+
+
+def test_non_utf8_file_cli_exit_code(tmp_path, capsys):
+    (tmp_path / "garbled.py").write_bytes(b"\xff\xfe\x00")
+    assert main([str(tmp_path)]) == 1
+    assert "SLIP999" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# SLIP999 is always on, independent of --select
+# ----------------------------------------------------------------------
+def test_slip999_fires_even_when_select_names_other_rules():
+    findings = lint_source("def broken(:\n", path="fixture.py",
+                           module=SIM_MODULE, select=["SLIP001"])
+    assert [f.code for f in findings] == ["SLIP999"]
+
+
+def test_select_slip999_is_a_valid_code(tmp_path, capsys):
+    good = tmp_path / "clean.py"
+    good.write_text("x = 1\n")
+    assert main(["--select", "SLIP999", str(tmp_path)]) == 0
+    capsys.readouterr()
+
+
+def test_list_rules_documents_always_on_slip999(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    assert "SLIP999" in out
+    assert "always on" in out
+
+
+# ----------------------------------------------------------------------
 # The real tree must lint clean (wires slip-lint into every pytest run)
 # ----------------------------------------------------------------------
 def test_src_tree_lints_clean():
