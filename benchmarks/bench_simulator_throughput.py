@@ -12,9 +12,12 @@ import pytest
 from repro.experiments.parallel import RunRequest, run_jobs
 from repro.sim.build import build_hierarchy
 from repro.sim.config import default_system
+from repro.sim.filtered import run_trace_filtered
 from repro.workloads.benchmarks import make_trace
+from repro.workloads.capture_store import MemoryCaptureStore
 
 N = 20_000
+MEASURED = N - N // 4  # replay results count post-warmup accesses only
 
 
 def drive(policy: str) -> int:
@@ -44,6 +47,40 @@ SWEEP_GRID = [
     for b in ("soplex", "lbm")
     for p in ("baseline", "slip", "slip_abp")
 ]
+CELLS = [(r.benchmark, r.policy) for r in SWEEP_GRID]
+
+
+def make_replay_cell(bench: str, policy: str):
+    """A warmed zero-arg replay closure for one sweep grid cell.
+
+    The first (capture-through) run fills a private in-memory store, so
+    every call of the returned closure times exactly one warm replay —
+    the unit the aggregate sweep bench repeats six times. Also used by
+    ``scripts/throughput_gate.py`` for the per-kind replay gates.
+    """
+    config = default_system()
+    trace = make_trace(bench, N)
+    store = MemoryCaptureStore()
+    run_trace_filtered(trace, policy, config=config, store=store)
+
+    def replay() -> int:
+        result = run_trace_filtered(trace, policy, config=config,
+                                    store=store)
+        return result.counters.demand_accesses
+
+    return replay
+
+
+@pytest.mark.parametrize("bench,policy", CELLS,
+                         ids=[f"{b}-{p}" for b, p in CELLS])
+def test_replay_cell(benchmark, bench, policy):
+    # Per-kind warm replay: baseline cells take the batched
+    # vector_replay kernel, slip/slip_abp cells the phase-split
+    # vector_replay_slip kernel (scalar fallback would still pass but
+    # shows up as a per-cell slowdown the aggregate sweep can hide).
+    replay = make_replay_cell(bench, policy)
+    assert benchmark.pedantic(replay, rounds=3, warmup_rounds=1,
+                              iterations=1) == MEASURED
 
 
 def sweep(jobs: int) -> int:

@@ -52,10 +52,12 @@ else
     echo "    SKIP: ruff not installed"
 fi
 
-# Throughput regression gates: re-time the slip_abp drive and the
-# serial (filtered-replay) sweep; fail if either lands >20% above the
-# mean recorded in BENCH_throughput.json.
-stage "throughput gate (slip_abp + sweep)" python scripts/throughput_gate.py
+# Throughput regression gates: re-time the slip_abp drive, the serial
+# (filtered-replay) sweep and the warm slip/slip_abp replay cells;
+# fail if any lands >20% above the mean recorded in
+# BENCH_throughput.json.
+stage "throughput gate (slip_abp + sweep + slip replay)" \
+    python scripts/throughput_gate.py
 
 # Filtered-replay smoke: one capture-through cell plus one replayed
 # SLIP cell must be byte-identical to their direct runs.
@@ -108,6 +110,40 @@ del os.environ["REPRO_VECTOR_REPLAY"]
 EOF
 }
 stage "vector-replay smoke (vector == scalar)" vector_smoke
+
+# SLIP vector-replay smoke: both slip-runtime kinds replayed through
+# the phase-split kernel must serialize byte-identically to the scalar
+# replay of the same capture, and the kernel must actually run (no
+# silent decline to the scalar walk).
+slip_vector_smoke() {
+    python - <<'EOF'
+import json
+import os
+from repro.sim.build import build_hierarchy
+from repro.sim.config import default_system
+from repro.sim.filtered import run_trace_filtered
+from repro.sim.vector_replay_slip import slip_eligible
+from repro.workloads.benchmarks import make_trace
+from repro.workloads.capture_store import MemoryCaptureStore
+
+def canon(result):
+    return json.dumps(result.to_json(), sort_keys=True)
+
+trace = make_trace("soplex", 4000)
+store = MemoryCaptureStore()
+for policy in ("slip", "slip_abp"):
+    assert slip_eligible(build_hierarchy(default_system(), policy)), \
+        f"{policy}: kernel declines the default hierarchy"
+    os.environ["REPRO_VECTOR_REPLAY"] = "0"
+    run_trace_filtered(trace, policy, store=store)  # capture-through
+    scalar = canon(run_trace_filtered(trace, policy, store=store))
+    os.environ["REPRO_VECTOR_REPLAY"] = "1"
+    vector = canon(run_trace_filtered(trace, policy, store=store))
+    assert vector == scalar, f"{policy}: slip vector != scalar"
+del os.environ["REPRO_VECTOR_REPLAY"]
+EOF
+}
+stage "slip vector-replay smoke (vector == scalar)" slip_vector_smoke
 
 # Determinism smoke: same figure, same seed, serial vs parallel must
 # emit byte-identical results once timing lines ([...]) are stripped.

@@ -10,7 +10,11 @@ at the repo root:
   long before any paper figure moves;
 * the serial sweep (``sweep(jobs=1)`` over the 2x3 benchmark/policy
   grid) — the filtered-replay path; a broken capture store or a replay
-  falling back to direct simulation shows up here.
+  falling back to direct simulation shows up here;
+* warm slip and slip_abp replay cells — the phase-split SLIP kernel
+  specifically; a decline regression (kernel silently falling back to
+  the scalar replay) roughly doubles these without moving the
+  baseline cells.
 
 Fails (exit 1) when either measurement exceeds its recorded mean by
 more than the tolerance (default 20%).
@@ -37,6 +41,11 @@ REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 BENCH_JSON = os.path.join(REPO_ROOT, "BENCH_throughput.json")
 BENCH_NAME = "test_throughput_slip_abp"
 SWEEP_BENCH_NAME = "test_sweep_throughput_serial"
+REPLAY_CELLS = (("soplex", "slip"), ("soplex", "slip_abp"))
+
+
+def replay_bench_name(bench: str, policy: str) -> str:
+    return f"test_replay_cell[{bench}-{policy}]"
 
 
 def recorded_mean_s(path: str, name: str) -> float:
@@ -91,6 +100,25 @@ def measure_best_sweep_s(repeats: int) -> float:
     return best
 
 
+def make_measure_replay_s(cell_bench: str, policy: str):
+    def measure(repeats: int) -> float:
+        bench = _import_bench()
+        replay = bench.make_replay_cell(cell_bench, policy)
+        best = float("inf")
+        replay()  # warmup: first kernel call pays code-table builds
+        for _ in range(repeats):
+            started = time.perf_counter()
+            accesses = replay()
+            elapsed = time.perf_counter() - started
+            if accesses != bench.MEASURED:
+                raise AssertionError(
+                    f"replay returned {accesses}, want {bench.MEASURED}")
+            best = min(best, elapsed)
+        return best
+
+    return measure
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--tolerance", type=float, default=0.20,
@@ -107,6 +135,10 @@ def main(argv=None) -> int:
     gates = (
         ("slip_abp", BENCH_NAME, measure_best_s),
         ("sweep-serial", SWEEP_BENCH_NAME, measure_best_sweep_s),
+    ) + tuple(
+        (f"replay-{b}-{p}", replay_bench_name(b, p),
+         make_measure_replay_s(b, p))
+        for b, p in REPLAY_CELLS
     )
     failed = False
     for label, name, measure in gates:

@@ -90,6 +90,10 @@ class MemoryHierarchy:
         # SimCheck: no-op unless REPRO_CHECK_INVARIANTS is set, in which
         # case conservation/consistency checkers wrap this hierarchy.
         self.simcheck = maybe_install(self, l3_shared=shared_l3 is not None)
+        # Why the most recent vector-replay kernel attempt bypassed this
+        # hierarchy (None after a successful kernel run or before any
+        # attempt); see repro.sim.vector_replay.record_decline.
+        self.vector_replay_decline: Optional[str] = None
         # Inline L1 hit fast path: legal only when nothing observes the
         # individual accounting calls (SimCheck wraps record_hit on the
         # instance) and L1 runs the stock LRU stamp, which is all this

@@ -180,13 +180,18 @@ class LevelStats:
                      wb_in_events: List[int],
                      wb_out_events: List[int],
                      reuse_histogram: Dict[str, int],
-                     default_insertions: int,
+                     default_insertions: Optional[int] = None,
+                     insertions_by_class: Optional[Dict[str, int]] = None,
+                     bypasses: int = 0,
+                     dirty_bypass_forwards: int = 0,
+                     metadata_events: int = 0,
                      movement_queue_events: int = 0,
                      movement_queue_pj: float = 0.0) -> None:
         """Publish a batch-computed set of event counts into this stats.
 
-        The merge hook for the vectorized replay kernel
-        (:mod:`repro.sim.vector_replay`): the kernel tallies integer
+        The merge hook for the vectorized replay kernels
+        (:mod:`repro.sim.vector_replay` and
+        :mod:`repro.sim.vector_replay_slip`): a kernel tallies integer
         event counts per (sublevel x kind) and this method lands them on
         the exact fields the scalar hot path would have bumped, keeping
         the serialization contract (which fields ``asdict`` emits, which
@@ -196,6 +201,13 @@ class LevelStats:
         the eligible policies. The movement-queue charge is replayed as
         the same sequence of constant float additions the live path
         performs, so the accumulated value is bit-identical.
+
+        Baseline-kind kernels pass ``default_insertions`` (every fill
+        lands in the default class); the SLIP kernel passes the full
+        ``insertions_by_class`` split plus the ABP ``bypasses`` /
+        ``dirty_bypass_forwards`` counts and the derived
+        ``metadata_events`` total. Exactly one of ``default_insertions``
+        and ``insertions_by_class`` must be given.
         """
         self.demand_hits = demand_hits
         self.demand_misses = demand_misses
@@ -212,7 +224,18 @@ class LevelStats:
         self.movements = sum(move_read_events)
         self.writebacks_in = sum(wb_in_events)
         self.writebacks_out = sum(wb_out_events)
-        self.insertions_by_class["default"] = default_insertions
+        self.bypasses = bypasses
+        self.dirty_bypass_forwards = dirty_bypass_forwards
+        self.metadata_events = metadata_events
+        if (default_insertions is None) == (insertions_by_class is None):
+            raise ValueError(
+                "pass exactly one of default_insertions and "
+                "insertions_by_class")
+        if insertions_by_class is not None:
+            for key, value in insertions_by_class.items():
+                self.insertions_by_class[key] = value
+        else:
+            self.insertions_by_class["default"] = default_insertions
         for key, value in reuse_histogram.items():
             self.reuse_histogram[key] = value
         queue_pj = 0.0

@@ -92,6 +92,7 @@ from .results import RunResult, collect_result
 from .single_core import run_trace
 from .timing import execution_time
 from .vector_replay import replay_capture_vector
+from .vector_replay_slip import replay_capture_vector_slip
 
 _FILTERED_ENV = "REPRO_FILTERED"
 _FALSEY = ("0", "false", "no", "off")
@@ -427,6 +428,7 @@ def _replay_events(hierarchy, capture: TraceCapture) -> None:
     hierarchy.counters.total_latency_cycles += total
 
 
+# slip-audit: twin=slip-vector-replay role=ref
 def _replay_slip(hierarchy, trace: Trace, capture: TraceCapture) -> None:
     """Slip-kind replay: live runtime driven at captured positions.
 
@@ -523,7 +525,11 @@ def replay_capture(
         if runtime.block_shift is not None:
             raise CaptureError("rd-block mode cannot be replayed")
         maybe_boost_sampler(runtime, warmup_sampling_boost)
-        _replay_slip(hierarchy, trace, capture)
+        # Phase-split kernel first; it declines (returns False) outside
+        # its eligibility matrix and the scalar walk stays the golden
+        # reference.
+        if not replay_capture_vector_slip(hierarchy, trace, capture):
+            _replay_slip(hierarchy, trace, capture)
     else:
         # Batched kernel first; it declines (returns False) whenever
         # the hierarchy is outside its eligibility matrix, and the

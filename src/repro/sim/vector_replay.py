@@ -61,6 +61,7 @@ kernel entirely.
 from __future__ import annotations
 
 import os
+import sys
 from typing import List, Optional, Tuple
 
 import numpy as np
@@ -78,6 +79,7 @@ from ..workloads.capture_store import (
 )
 
 _VECTOR_ENV = "REPRO_VECTOR_REPLAY"
+_DEBUG_ENV = "REPRO_VECTOR_REPLAY_DEBUG"
 _FALSEY = ("0", "false", "no", "off")
 
 #: Sentinel opcode for empty slots of the interleaved L3 stream.
@@ -89,20 +91,51 @@ def vector_enabled() -> bool:
     return os.environ.get(_VECTOR_ENV, "").strip().lower() not in _FALSEY
 
 
+def debug_enabled() -> bool:
+    """``REPRO_VECTOR_REPLAY_DEBUG=1`` echoes decline reasons to stderr."""
+    value = os.environ.get(_DEBUG_ENV, "").strip().lower()
+    return bool(value) and value not in _FALSEY
+
+
+def record_decline(hierarchy, reason: str) -> None:
+    """Remember why a replay kernel bypassed this hierarchy.
+
+    The reason lands on ``hierarchy.vector_replay_decline`` so tests
+    and benches can assert *why* a cell fell back to the scalar walk
+    instead of inferring it from timings; a successful kernel run
+    resets the attribute to ``None``. With ``REPRO_VECTOR_REPLAY_DEBUG``
+    set, the reason is also echoed to stderr (stdout stays reserved for
+    deterministic experiment output).
+    """
+    hierarchy.vector_replay_decline = reason
+    if debug_enabled():
+        print(f"vector-replay: decline ({reason})", file=sys.stderr)
+
+
 def eligible_kind(hierarchy) -> Optional[str]:
     """The kernel flavour for a hierarchy, or ``None`` to bypass.
 
     Exact-type checks throughout: a subclassed placement or replacement
     could observe events the kernel never generates, so anything but
-    the stock trio falls back to the scalar golden path.
+    the stock trio falls back to the scalar golden path. Each bypass
+    records its reason via :func:`record_decline` (SLIP kinds land in
+    the generic placement bucket here; their own kernel records the
+    precise reason in :func:`repro.sim.vector_replay_slip.
+    slip_eligible`).
     """
     if hierarchy.simcheck is not None:
+        record_decline(hierarchy, "simcheck")
         return None
     l2, l3 = hierarchy.l2, hierarchy.l3
     if l2.track_metadata_energy or l3.track_metadata_energy:
+        record_decline(hierarchy, "metadata-energy")
         return None
     t = type(hierarchy.l2_placement)
     if type(hierarchy.l3_placement) is not t:
+        record_decline(
+            hierarchy,
+            f"placement:mismatched:{t.__name__}/"
+            f"{type(hierarchy.l3_placement).__name__}")
         return None
     r2, r3 = type(l2.replacement), type(l3.replacement)
     if t is BaselinePlacement:
@@ -110,11 +143,17 @@ def eligible_kind(hierarchy) -> Optional[str]:
     elif t is NurapidPlacement:
         kind = "nurapid"
     elif t is LruPeaPlacement:
-        return "lru_pea" if r2 is PeaLruReplacement \
-            and r3 is PeaLruReplacement else None
+        if r2 is PeaLruReplacement and r3 is PeaLruReplacement:
+            return "lru_pea"
+        record_decline(
+            hierarchy, f"replacement:{r2.__name__}/{r3.__name__}")
+        return None
     else:
+        record_decline(hierarchy, f"placement:{t.__name__}")
         return None
     if r2 is not LruReplacement or r3 is not LruReplacement:
+        record_decline(
+            hierarchy, f"replacement:{r2.__name__}/{r3.__name__}")
         return None
     return kind
 
@@ -701,10 +740,12 @@ def replay_capture_vector(hierarchy, capture: TraceCapture) -> bool:
     ``capture-replay-conservation`` audit still runs in the caller.
     """
     if not vector_enabled():
+        record_decline(hierarchy, "env:REPRO_VECTOR_REPLAY")
         return False
     kind = eligible_kind(hierarchy)
     if kind is None:
         return False
+    hierarchy.vector_replay_decline = None
     run = _RUNNERS[kind]
 
     ops = np.asarray(capture.ops, dtype=np.uint8)

@@ -1,0 +1,317 @@
+"""SLIP phase-split replay kernel: byte-identity, declines, debugging.
+
+Mirror of :mod:`test_vector_replay` for the slip-runtime kinds: every
+slip/slip_abp cell the kernel (:mod:`repro.sim.vector_replay_slip`)
+accepts must serialize byte-for-byte like the scalar ``_replay_slip``
+walk of the same capture, across both capture stores, both worker
+modes, randomized trace/geometry space, and the ``l3_abp_min_samples``
+ablation. Everything it cannot represent must decline with a recorded
+reason and fall back to the scalar path with identical bytes.
+"""
+
+import json
+import os
+import random
+
+import pytest
+
+from repro.experiments.parallel import RunRequest, run_jobs
+from repro.sim.build import build_hierarchy
+from repro.sim.config import (
+    CacheLevelConfig,
+    CoreConfig,
+    DramConfig,
+    SlipParams,
+    SystemConfig,
+)
+from repro.sim.filtered import (
+    front_end_fingerprint,
+    run_trace_filtered,
+)
+from repro.sim.single_core import run_trace
+from repro.sim.vector_replay_slip import (
+    replay_capture_vector_slip,
+    slip_eligible,
+)
+from repro.workloads.benchmarks import make_trace
+from repro.workloads.capture_store import (
+    DiskCaptureStore,
+    MemoryCaptureStore,
+    fingerprint_key,
+)
+
+SLIP_KIND = ("slip", "slip_abp")
+LENGTH = 2_500
+
+
+def canonical(result) -> str:
+    return json.dumps(result.to_json(), sort_keys=True)
+
+
+def replay_pair(trace, policy, config, store, monkeypatch, **kwargs):
+    """(scalar replay, vector replay) of the same warmed capture."""
+    monkeypatch.setenv("REPRO_VECTOR_REPLAY", "0")
+    # First run is capture-through (direct); the next two replay.
+    run_trace_filtered(trace, policy, config=config, store=store,
+                       **kwargs)
+    scalar = run_trace_filtered(trace, policy, config=config,
+                                store=store, **kwargs)
+    monkeypatch.setenv("REPRO_VECTOR_REPLAY", "1")
+    vector = run_trace_filtered(trace, policy, config=config,
+                                store=store, **kwargs)
+    return scalar, vector
+
+
+def slip_capture(trace, config, store):
+    """The policy-invariant capture the slip kernel replays."""
+    key = fingerprint_key(
+        front_end_fingerprint(trace, config, 0, 0.25))
+    capture = store.get(key)
+    assert capture is not None
+    return capture
+
+
+# ----------------------------------------------------------------------
+# Byte-identical equivalence: ABP on/off x stores
+# ----------------------------------------------------------------------
+class TestByteIdentity:
+    @pytest.mark.parametrize("policy", SLIP_KIND)
+    @pytest.mark.parametrize("store_kind", ("memory", "disk"))
+    def test_vector_matches_scalar(self, policy, store_kind, tiny_system,
+                                   tmp_path, monkeypatch):
+        trace = make_trace("soplex", LENGTH)
+        store = (MemoryCaptureStore() if store_kind == "memory"
+                 else DiskCaptureStore(str(tmp_path)))
+        scalar, vector = replay_pair(trace, policy, tiny_system, store,
+                                     monkeypatch)
+        assert canonical(vector) == canonical(scalar)
+
+    @pytest.mark.parametrize("policy", SLIP_KIND)
+    def test_vector_matches_direct(self, policy, tiny_system,
+                                   monkeypatch):
+        """Transitivity check straight to the unfiltered simulator."""
+        trace = make_trace("lbm", LENGTH)
+        monkeypatch.setenv("REPRO_VECTOR_REPLAY", "1")
+        store = MemoryCaptureStore()
+        run_trace_filtered(trace, policy, config=tiny_system,
+                           store=store)
+        vector = run_trace_filtered(trace, policy, config=tiny_system,
+                                    store=store)
+        assert canonical(vector) == canonical(
+            run_trace(trace, policy, config=tiny_system))
+
+    @pytest.mark.parametrize("policy", SLIP_KIND)
+    def test_vector_matches_scalar_nonzero_seed(self, policy,
+                                                tiny_system,
+                                                monkeypatch):
+        """Sampler RNG and seeded traces line up event for event."""
+        trace = make_trace("soplex", LENGTH, seed=3)
+        scalar, vector = replay_pair(trace, policy, tiny_system,
+                                     MemoryCaptureStore(), monkeypatch,
+                                     seed=5)
+        assert canonical(vector) == canonical(scalar)
+
+    @pytest.mark.parametrize("min_samples", (0, 10_000))
+    def test_abp_min_samples_gate(self, min_samples, tiny_system,
+                                  monkeypatch):
+        """The EOU's ABP evidence floor steers fills identically.
+
+        0 lets the all-bypass policy win from the first sample; a huge
+        floor suppresses it entirely — both sides of the gate must
+        replay byte-identically through the kernel.
+        """
+        config = SystemConfig(
+            l1=tiny_system.l1, l2=tiny_system.l2, l3=tiny_system.l3,
+            dram=tiny_system.dram,
+            slip=SlipParams(l3_abp_min_samples=min_samples),
+            core=tiny_system.core,
+            tlb_entries=tiny_system.tlb_entries,
+        )
+        trace = make_trace("soplex", LENGTH)
+        scalar, vector = replay_pair(trace, "slip_abp", config,
+                                     MemoryCaptureStore(), monkeypatch)
+        assert canonical(vector) == canonical(scalar)
+
+
+# ----------------------------------------------------------------------
+# Worker parity: jobs=1 vs jobs=2 over the shared disk store
+# ----------------------------------------------------------------------
+@pytest.mark.multiproc
+def test_jobs_parity_vector_vs_scalar(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CAPTURE_DIR", str(tmp_path))
+    grid = [RunRequest("soplex", policy, length=2_000)
+            for policy in SLIP_KIND]
+    monkeypatch.setenv("REPRO_VECTOR_REPLAY", "0")
+    run_jobs(grid, jobs=1)  # populate the store (capture-through)
+    scalar = run_jobs(grid, jobs=1)
+    monkeypatch.setenv("REPRO_VECTOR_REPLAY", "1")
+    serial = run_jobs(grid, jobs=1)
+    parallel = run_jobs(grid, jobs=2)
+    for base, ours, theirs in zip(scalar.results, serial.results,
+                                  parallel.results):
+        assert ours.result == base.result, base.request.label()
+        assert theirs.result == base.result, base.request.label()
+
+
+# ----------------------------------------------------------------------
+# Randomized trace/geometry property test (hypothesis-style)
+# ----------------------------------------------------------------------
+def _random_level(rng, name, base_sets, base_lat, base_pj):
+    ways = rng.choice((2, 4, 8))
+    sets = rng.choice((base_sets, base_sets * 2))
+    nsub = rng.randint(1, min(3, ways))
+    # Random composition of `ways` into `nsub` positive parts.
+    cuts = sorted(rng.sample(range(1, ways), nsub - 1)) if nsub > 1 else []
+    bounds = [0] + cuts + [ways]
+    parts = tuple(b - a for a, b in zip(bounds, bounds[1:]))
+    if nsub == 1 and rng.random() < 0.5:
+        parts = ()  # exercise the uniform-level path too
+    return CacheLevelConfig(
+        name=name,
+        size_bytes=sets * ways * 64,
+        ways=ways,
+        latency_cycles=base_lat,
+        access_energy_pj=base_pj,
+        sublevel_ways=parts,
+        sublevel_energy_pj=tuple(
+            base_pj * (0.5 + 0.25 * i) for i in range(len(parts))),
+        sublevel_latency=tuple(
+            base_lat + i for i in range(len(parts))),
+    )
+
+
+def _random_system(rng) -> SystemConfig:
+    l1 = CacheLevelConfig(name="L1", size_bytes=1024, ways=2,
+                          latency_cycles=1, access_energy_pj=1.0)
+    return SystemConfig(
+        l1=l1,
+        l2=_random_level(rng, "L2", base_sets=8, base_lat=3,
+                         base_pj=10.0),
+        l3=_random_level(rng, "L3", base_sets=32, base_lat=8,
+                         base_pj=40.0),
+        dram=DramConfig(latency_cycles=50, energy_pj_per_bit=2.0),
+        slip=SlipParams(),
+        core=CoreConfig(),
+        tlb_entries=8,
+    )
+
+
+@pytest.mark.parametrize("case_seed", range(6))
+def test_random_geometry_property(case_seed, monkeypatch):
+    rng = random.Random(7_000 + case_seed)
+    config = _random_system(rng)
+    trace = make_trace(rng.choice(("soplex", "lbm", "mcf")),
+                       rng.randint(900, 2_200),
+                       seed=rng.randint(0, 99))
+    policy = SLIP_KIND[case_seed % len(SLIP_KIND)]
+    scalar, vector = replay_pair(trace, policy, config,
+                                 MemoryCaptureStore(), monkeypatch,
+                                 seed=rng.randint(0, 9))
+    assert canonical(vector) == canonical(scalar)
+
+
+# ----------------------------------------------------------------------
+# Decline matrix: every ineligible shape records why it fell back
+# ----------------------------------------------------------------------
+class TestDecline:
+    @pytest.mark.parametrize("policy", SLIP_KIND)
+    def test_default_hierarchy_is_eligible(self, policy, tiny_system):
+        hierarchy = build_hierarchy(tiny_system, policy)
+        assert slip_eligible(hierarchy)
+
+    def test_non_slip_kind_declines(self, tiny_system):
+        hierarchy = build_hierarchy(tiny_system, "baseline")
+        assert not slip_eligible(hierarchy)
+        assert hierarchy.vector_replay_decline == "kind:not-slip"
+
+    def test_simcheck_declines(self, tiny_system, monkeypatch):
+        monkeypatch.setenv("REPRO_CHECK_INVARIANTS", "1")
+        hierarchy = build_hierarchy(tiny_system, "slip")
+        assert not slip_eligible(hierarchy)
+        assert hierarchy.vector_replay_decline == "simcheck"
+
+    def test_rd_block_mode_declines(self, tiny_system):
+        config = SystemConfig(
+            l1=tiny_system.l1, l2=tiny_system.l2, l3=tiny_system.l3,
+            dram=tiny_system.dram,
+            slip=SlipParams(rd_block_lines=8),
+            core=tiny_system.core,
+            tlb_entries=tiny_system.tlb_entries,
+        )
+        hierarchy = build_hierarchy(config, "slip")
+        assert not slip_eligible(hierarchy)
+        assert hierarchy.vector_replay_decline == "rd-block"
+
+    def test_non_lru_replacement_declines(self, tiny_system):
+        hierarchy = build_hierarchy(tiny_system, "slip",
+                                    replacement="random")
+        assert not slip_eligible(hierarchy)
+        assert (hierarchy.vector_replay_decline
+                == "replacement:L2:RandomReplacement")
+
+    def test_env_flag_declines(self, tiny_system, monkeypatch):
+        monkeypatch.setenv("REPRO_VECTOR_REPLAY", "0")
+        trace = make_trace("soplex", 1_200)
+        store = MemoryCaptureStore()
+        run_trace_filtered(trace, "slip", config=tiny_system,
+                           store=store)
+        capture = slip_capture(trace, tiny_system, store)
+        hierarchy = build_hierarchy(tiny_system, "slip")
+        assert replay_capture_vector_slip(hierarchy, trace,
+                                          capture) is False
+        assert (hierarchy.vector_replay_decline
+                == "env:REPRO_VECTOR_REPLAY")
+
+    def test_successful_replay_clears_decline(self, tiny_system,
+                                              monkeypatch):
+        monkeypatch.setenv("REPRO_VECTOR_REPLAY", "1")
+        trace = make_trace("soplex", 1_200)
+        store = MemoryCaptureStore()
+        run_trace_filtered(trace, "slip", config=tiny_system,
+                           store=store)
+        capture = slip_capture(trace, tiny_system, store)
+        hierarchy = build_hierarchy(tiny_system, "slip")
+        assert replay_capture_vector_slip(hierarchy, trace,
+                                          capture) is True
+        assert hierarchy.vector_replay_decline is None
+
+    def test_debug_flag_echoes_reason_to_stderr(self, tiny_system,
+                                                monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_VECTOR_REPLAY_DEBUG", "1")
+        hierarchy = build_hierarchy(tiny_system, "baseline")
+        assert not slip_eligible(hierarchy)
+        captured = capsys.readouterr()
+        assert "vector-replay: decline (kind:not-slip)" in captured.err
+        assert captured.out == ""  # stdout stays deterministic
+
+    @pytest.mark.parametrize("policy", SLIP_KIND)
+    def test_declined_cells_still_replay_correctly(self, policy,
+                                                   tiny_system,
+                                                   monkeypatch):
+        """A bypassed cell silently takes the scalar path, same bytes."""
+        trace = make_trace("soplex", 1_500)
+        scalar, vector = replay_pair(
+            trace, policy, tiny_system, MemoryCaptureStore(),
+            monkeypatch, replacement="random")
+        assert canonical(vector) == canonical(scalar)
+
+
+# ----------------------------------------------------------------------
+# adopt_counts contract: exactly one insertion source
+# ----------------------------------------------------------------------
+def test_adopt_counts_requires_one_insertion_source(tiny_system):
+    hierarchy = build_hierarchy(tiny_system, "slip")
+    stats = hierarchy.l2.stats
+    nsub = hierarchy.l2.cfg.num_sublevels
+    kwargs = dict(
+        demand_hits=0, demand_misses=0, metadata_hits=0,
+        metadata_misses=0, hits_by_sublevel=[0] * nsub,
+        insert_events=[0] * nsub, move_read_events=[0] * nsub,
+        move_write_events=[0] * nsub, wb_in_events=[0] * nsub,
+        wb_out_events=[0] * nsub, reuse_histogram={},
+    )
+    with pytest.raises(ValueError, match="exactly one"):
+        stats.adopt_counts(default_insertions=1,
+                           insertions_by_class={"default": 1}, **kwargs)
+    with pytest.raises(ValueError, match="exactly one"):
+        stats.adopt_counts(**kwargs)
