@@ -12,7 +12,7 @@ import pytest
 from repro.experiments.parallel import RunRequest, run_jobs
 from repro.sim.build import build_hierarchy
 from repro.sim.config import default_system
-from repro.sim.filtered import run_trace_filtered
+from repro.sim.filtered import capture_front_end, run_trace_filtered
 from repro.workloads.benchmarks import make_trace
 from repro.workloads.capture_store import MemoryCaptureStore
 
@@ -81,6 +81,32 @@ def test_replay_cell(benchmark, bench, policy):
     replay = make_replay_cell(bench, policy)
     assert benchmark.pedantic(replay, rounds=3, warmup_rounds=1,
                               iterations=1) == MEASURED
+
+
+def make_capture_cell(bench: str):
+    """A zero-arg cold-capture closure for one benchmark trace.
+
+    Every call times one full front-end capture pass — the cost a cold
+    sweep pays per (trace, front-end fingerprint) before any replay can
+    happen. The batched vector_frontend kernel serves it by default;
+    ``REPRO_VECTOR_FRONTEND=0`` would fall back to the scalar walk and
+    show up as a multi-x slowdown. Also used by
+    ``scripts/throughput_gate.py`` for the cold-capture gates.
+    """
+    config = default_system()
+    trace = make_trace(bench, N)
+
+    def capture() -> int:
+        return capture_front_end(trace, config).n
+
+    return capture
+
+
+@pytest.mark.parametrize("bench", ("soplex", "lbm"))
+def test_capture_cell(benchmark, bench):
+    capture = make_capture_cell(bench)
+    assert benchmark.pedantic(capture, rounds=3, warmup_rounds=1,
+                              iterations=1) == N
 
 
 def sweep(jobs: int) -> int:

@@ -53,10 +53,10 @@ else
 fi
 
 # Throughput regression gates: re-time the slip_abp drive, the serial
-# (filtered-replay) sweep and the warm slip/slip_abp replay cells;
-# fail if any lands >20% above the mean recorded in
-# BENCH_throughput.json.
-stage "throughput gate (slip_abp + sweep + slip replay)" \
+# (filtered-replay) sweep, the warm slip/slip_abp replay cells and the
+# cold front-end captures; fail if any lands >20% above the mean
+# recorded in BENCH_throughput.json.
+stage "throughput gate (slip_abp + sweep + replay + capture)" \
     python scripts/throughput_gate.py
 
 # Filtered-replay smoke: one capture-through cell plus one replayed
@@ -144,6 +144,51 @@ del os.environ["REPRO_VECTOR_REPLAY"]
 EOF
 }
 stage "slip vector-replay smoke (vector == scalar)" slip_vector_smoke
+
+# Front-end capture smoke: the batched TLB+L1 kernel must produce a
+# byte-identical capture to the scalar walk (arrays, frozen stats and
+# boundaries), must not decline the default hierarchy, and a cold cell
+# fed by the kernel must serialize identically to the scalar cold path.
+frontend_smoke() {
+    python - <<'EOF'
+import json
+import os
+import numpy as np
+from repro.sim.build import build_hierarchy
+from repro.sim.config import default_system
+from repro.sim.filtered import capture_front_end, run_trace_filtered
+from repro.sim.vector_frontend import frontend_eligible
+from repro.workloads.benchmarks import make_trace
+from repro.workloads.capture_store import _ARRAY_NAMES, MemoryCaptureStore
+
+config = default_system()
+trace = make_trace("soplex", 4000)
+assert frontend_eligible(build_hierarchy(config, "baseline")), \
+    "kernel declines the default hierarchy"
+os.environ["REPRO_VECTOR_FRONTEND"] = "0"
+scalar = capture_front_end(trace, config)
+os.environ["REPRO_VECTOR_FRONTEND"] = "1"
+vector = capture_front_end(trace, config)
+assert (vector.n, vector.warmup, vector.event_boundary) == \
+    (scalar.n, scalar.warmup, scalar.event_boundary), "boundaries"
+for name in _ARRAY_NAMES:
+    assert np.array_equal(getattr(vector, name), getattr(scalar, name)), name
+assert json.dumps(vector.frozen, sort_keys=True) == \
+    json.dumps(scalar.frozen, sort_keys=True), "frozen stats"
+
+def cold_cell():
+    result = run_trace_filtered(trace, "baseline",
+                                store=MemoryCaptureStore())
+    return json.dumps(result.to_json(), sort_keys=True)
+
+os.environ["REPRO_VECTOR_FRONTEND"] = "0"
+want = cold_cell()
+os.environ["REPRO_VECTOR_FRONTEND"] = "1"
+assert cold_cell() == want, "cold kernel cell != scalar cold cell"
+del os.environ["REPRO_VECTOR_FRONTEND"]
+EOF
+}
+stage "vector-frontend smoke (kernel == scalar capture)" frontend_smoke
 
 # Determinism smoke: same figure, same seed, serial vs parallel must
 # emit byte-identical results once timing lines ([...]) are stripped.

@@ -14,7 +14,10 @@ at the repo root:
 * warm slip and slip_abp replay cells — the phase-split SLIP kernel
   specifically; a decline regression (kernel silently falling back to
   the scalar replay) roughly doubles these without moving the
-  baseline cells.
+  baseline cells;
+* cold front-end captures of both bench traces — the batched
+  vector_frontend kernel; a decline regression here multiplies the
+  cost every cold sweep cell pays before its first replay.
 
 Fails (exit 1) when either measurement exceeds its recorded mean by
 more than the tolerance (default 20%).
@@ -42,10 +45,15 @@ BENCH_JSON = os.path.join(REPO_ROOT, "BENCH_throughput.json")
 BENCH_NAME = "test_throughput_slip_abp"
 SWEEP_BENCH_NAME = "test_sweep_throughput_serial"
 REPLAY_CELLS = (("soplex", "slip"), ("soplex", "slip_abp"))
+CAPTURE_CELLS = ("soplex", "lbm")
 
 
 def replay_bench_name(bench: str, policy: str) -> str:
     return f"test_replay_cell[{bench}-{policy}]"
+
+
+def capture_bench_name(bench: str) -> str:
+    return f"test_capture_cell[{bench}]"
 
 
 def recorded_mean_s(path: str, name: str) -> float:
@@ -119,6 +127,25 @@ def make_measure_replay_s(cell_bench: str, policy: str):
     return measure
 
 
+def make_measure_capture_s(cell_bench: str):
+    def measure(repeats: int) -> float:
+        bench = _import_bench()
+        capture = bench.make_capture_cell(cell_bench)
+        best = float("inf")
+        capture()  # warmup: first call pays trace synthesis costs
+        for _ in range(repeats):
+            started = time.perf_counter()
+            n = capture()
+            elapsed = time.perf_counter() - started
+            if n != bench.N:
+                raise AssertionError(
+                    f"capture covered {n} accesses, want {bench.N}")
+            best = min(best, elapsed)
+        return best
+
+    return measure
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--tolerance", type=float, default=0.20,
@@ -139,6 +166,10 @@ def main(argv=None) -> int:
         (f"replay-{b}-{p}", replay_bench_name(b, p),
          make_measure_replay_s(b, p))
         for b, p in REPLAY_CELLS
+    ) + tuple(
+        (f"capture-{b}", capture_bench_name(b),
+         make_measure_capture_s(b))
+        for b in CAPTURE_CELLS
     )
     failed = False
     for label, name, measure in gates:

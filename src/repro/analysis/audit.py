@@ -413,6 +413,58 @@ TWIN_REGISTRY: Tuple[TwinPair, ...] = (
             "counters.total_latency_cycles": 1, "stats.hits": 1,
         },
     ),
+    TwinPair(
+        # The batched front-end capture kernel vs the scalar shadowed
+        # walk: both publish the frozen L1 through adopt_counts /
+        # materialize (the large shared set), but the kernel assigns
+        # whole tallies (no [] suffix) while the scalar walk drives the
+        # live hierarchy — its element-wise bumps, TLB/runtime ledgers
+        # and hierarchy counters are ref-only. Neither side bumps a
+        # counter directly in its own body (everything flows through
+        # callees), so both site-count maps are empty.
+        pair_id="vector-frontend",
+        fast="capture_front_end_vector",
+        refs=("capture_front_end",),
+        shared=frozenset({
+            "stats._metadata_pj", "stats._read_pj_table",
+            "stats._write_pj_table", "stats.bypasses",
+            "stats.demand_hits", "stats.demand_misses",
+            "stats.dirty_bypass_forwards",
+            "stats.energy.insertion_pj", "stats.energy.metadata_pj",
+            "stats.energy.movement_pj",
+            "stats.energy.movement_queue_pj", "stats.energy.read_pj",
+            "stats.energy.writeback_pj", "stats.insertion_pj",
+            "stats.insertions", "stats.insertions_by_class[]",
+            "stats.metadata_events", "stats.metadata_hits",
+            "stats.metadata_misses", "stats.metadata_pj",
+            "stats.movement_pj", "stats.movements", "stats.read_pj",
+            "stats.reuse_histogram[]", "stats.writeback_pj",
+            "stats.writebacks_in", "stats.writebacks_out",
+        }),
+        fast_only=frozenset({
+            "stats.hits_by_sublevel", "stats.insert_events",
+            "stats.move_read_events", "stats.move_write_events",
+            "stats.read_events", "stats.wb_in_events",
+            "stats.wb_out_events",
+        }),
+        ref_only=frozenset({
+            "_alloc_rotor", "_clock", "access_counter", "counters",
+            "counters.demand_accesses", "counters.dram_demand_reads",
+            "counters.dram_metadata_reads", "counters.dram_writebacks",
+            "counters.l1_hits", "counters.total_latency_cycles",
+            "stats", "stats.distribution_fetches", "stats.energy_pj",
+            "stats.hits", "stats.hits_by_sublevel[]",
+            "stats.insert_events[]", "stats.misses",
+            "stats.move_read_events[]", "stats.move_write_events[]",
+            "stats.optimizations", "stats.policy_recomputations",
+            "stats.read_events[]", "stats.reads",
+            "stats.state_transitions_to_sampling",
+            "stats.state_transitions_to_stable",
+            "stats.tlb_block_cycles", "stats.tlb_miss_fetches",
+            "stats.wb_in_events[]", "stats.wb_out_events[]",
+            "stats.writes", "valid_count",
+        }),
+    ),
 )
 
 _PAIRS_BY_FAST: Dict[str, TwinPair] = {p.fast: p for p in TWIN_REGISTRY}

@@ -838,3 +838,75 @@ def check_slip_vector_replay(*, demand_events: int, metadata_events: int,
             f"{dram_writebacks} DRAM writebacks vs {dram_expect} "
             f"emitted by L3",
             level="DRAM", counter="dram_writebacks")
+
+
+# ----------------------------------------------------------------------
+# Vector-front-end conservation (always on, independent of the flag)
+# ----------------------------------------------------------------------
+def check_vector_frontend(*, n: int, warmup: int, event_boundary: int,
+                          total_events: int, total_demand: int,
+                          total_metadata: int, total_writeback: int,
+                          l1_hits: int, l1_misses: int, l1_writebacks: int,
+                          tlb_hits: int, tlb_misses: int,
+                          histogram_total: int, measured_evictions: int,
+                          residents: int, capacity: int) -> None:
+    """``vector-frontend-conservation``: audit one batched capture.
+
+    Runs inside :func:`repro.sim.vector_frontend.
+    capture_front_end_vector` before the capture is packaged,
+    balancing the emitted event streams against the frozen front-end
+    tallies the same capture carries:
+
+    * every measured access resolved to exactly one L1 outcome and one
+      TLB outcome (hits + misses == measured accesses for both);
+    * the event stream partitions into demand / metadata / writeback
+      ops, the warmup boundary splits it consistently with the frozen
+      measured-phase counts, and no access emitted a writeback without
+      a demand miss;
+    * the reuse histogram covers exactly the measured evictions plus
+      the lines resident at the end of the trace, and residency never
+      exceeds the L1's capacity.
+    """
+    name = "vector-frontend-conservation"
+    if l1_hits + l1_misses != n - warmup:
+        raise InvariantViolation(
+            name,
+            f"L1 resolved {l1_hits} hits + {l1_misses} misses for "
+            f"{n - warmup} measured accesses",
+            level="L1", counter="demand_events")
+    if tlb_hits + tlb_misses != n - warmup:
+        raise InvariantViolation(
+            name,
+            f"TLB resolved {tlb_hits} hits + {tlb_misses} misses for "
+            f"{n - warmup} measured accesses",
+            level="TLB", counter="tlb_probes")
+    if total_demand + total_metadata + total_writeback != total_events:
+        raise InvariantViolation(
+            name,
+            f"{total_demand}+{total_metadata}+{total_writeback} typed "
+            f"events vs {total_events} stream slots",
+            level="L1", counter="event_stream")
+    measured_events = l1_misses + tlb_misses + l1_writebacks
+    if event_boundary + measured_events != total_events:
+        raise InvariantViolation(
+            name,
+            f"boundary {event_boundary} + {measured_events} measured "
+            f"events != {total_events} stream slots",
+            level="L1", counter="event_boundary")
+    if total_writeback > total_demand:
+        raise InvariantViolation(
+            name,
+            f"{total_writeback} writebacks exceed {total_demand} "
+            f"demand misses",
+            level="L1", counter="writebacks_out")
+    if histogram_total != measured_evictions + residents:
+        raise InvariantViolation(
+            name,
+            f"reuse histogram holds {histogram_total} departures vs "
+            f"{measured_evictions} evictions + {residents} residents",
+            level="L1", counter="reuse_histogram")
+    if not 0 <= residents <= capacity:
+        raise InvariantViolation(
+            name,
+            f"{residents} resident lines in a {capacity}-line L1",
+            level="L1", counter="residents")

@@ -94,6 +94,9 @@ class MemoryHierarchy:
         # hierarchy (None after a successful kernel run or before any
         # attempt); see repro.sim.vector_replay.record_decline.
         self.vector_replay_decline: Optional[str] = None
+        # Same contract for the batched front-end capture kernel; see
+        # repro.sim.vector_frontend.record_decline.
+        self.vector_frontend_decline: Optional[str] = None
         # Inline L1 hit fast path: legal only when nothing observes the
         # individual accounting calls (SimCheck wraps record_hit on the
         # instance) and L1 runs the stock LRU stamp, which is all this

@@ -189,9 +189,11 @@ class LevelStats:
                      movement_queue_pj: float = 0.0) -> None:
         """Publish a batch-computed set of event counts into this stats.
 
-        The merge hook for the vectorized replay kernels
-        (:mod:`repro.sim.vector_replay` and
-        :mod:`repro.sim.vector_replay_slip`): a kernel tallies integer
+        The merge hook for the vectorized kernels
+        (:mod:`repro.sim.vector_replay`,
+        :mod:`repro.sim.vector_replay_slip`, and the front-end capture
+        kernel :mod:`repro.sim.vector_frontend`, which freezes its L1
+        tallies through this path): a kernel tallies integer
         event counts per (sublevel x kind) and this method lands them on
         the exact fields the scalar hot path would have bumped, keeping
         the serialization contract (which fields ``asdict`` emits, which

@@ -26,6 +26,13 @@ Captures come from one of two passes:
   a direct run executes, and ``counters.total_latency_cycles`` at the
   end is precisely the frozen L1-side latency.
 
+Both passes first offer the work to the batched capture kernel
+(:mod:`~repro.sim.vector_frontend`), which simulates the TLB and L1
+over the whole trace in three numpy phases and emits a byte-identical
+:class:`~repro.workloads.capture_store.TraceCapture`; the scalar walks
+below stay in place as the golden reference and serve every shape the
+kernel declines (``hierarchy.vector_frontend_decline`` records why).
+
 The captured stream is **runtime-kind invariant** — TLB hit/miss
 positions are one page-grain probe per access regardless of runtime,
 and the back end never feeds back into L1 or TLB state — so one
@@ -91,6 +98,7 @@ from .config import SystemConfig, default_system
 from .results import RunResult, collect_result
 from .single_core import run_trace
 from .timing import execution_time
+from .vector_frontend import capture_front_end_vector
 from .vector_replay import replay_capture_vector
 from .vector_replay_slip import replay_capture_vector_slip
 
@@ -101,6 +109,18 @@ _FALSEY = ("0", "false", "no", "off")
 def filtered_enabled() -> bool:
     """Filtered replay is on unless ``REPRO_FILTERED`` disables it."""
     return os.environ.get(_FILTERED_ENV, "").strip().lower() not in _FALSEY
+
+
+def debug_flag(env_var: str) -> bool:
+    """One truthy-env convention for the kernel debug toggles.
+
+    ``REPRO_VECTOR_REPLAY_DEBUG`` and ``REPRO_VECTOR_FRONTEND_DEBUG``
+    both resolve through here (empty/unset is off, and the usual falsey
+    spellings stay off), so the two decline-echo switches can never
+    drift apart.
+    """
+    value = os.environ.get(env_var, "").strip().lower()
+    return bool(value) and value not in _FALSEY
 
 
 # ----------------------------------------------------------------------
@@ -183,6 +203,7 @@ def _assemble_capture(
 # ----------------------------------------------------------------------
 # Capture pass (shadowed back end)
 # ----------------------------------------------------------------------
+# slip-audit: twin=vector-frontend role=ref
 def capture_front_end(trace: Trace, config: SystemConfig,
                       warmup_fraction: float = 0.25) -> TraceCapture:
     """Run the policy-invariant front end once; record the boundary.
@@ -195,6 +216,14 @@ def capture_front_end(trace: Trace, config: SystemConfig,
     hierarchy = build_hierarchy(config, "baseline")
     if hierarchy.simcheck is not None:
         raise CaptureError("capture pass cannot run under SimCheck")
+
+    # Batched kernel first; it declines (returns None) outside its
+    # eligibility matrix and the scalar walk below stays the golden
+    # reference, exactly like the replay kernels.
+    capture = capture_front_end_vector(hierarchy, trace, config,
+                                       warmup_fraction)
+    if capture is not None:
+        return capture
 
     ops: list = []
     addrs: list = []
@@ -287,6 +316,23 @@ def run_trace_capturing(
         always_sample=always_sample,
     )
     recording = hierarchy.simcheck is None
+
+    # Batched kernel first: capture the front end without driving the
+    # trace, then produce this cell's result by replaying the capture
+    # (byte-identical to the direct run by the replay contract). Only
+    # baseline-kind policies record the policy-invariant stream — a
+    # slip-kind runtime would interleave its own metadata fetches.
+    if recording and runtime_kind(policy) == "baseline":
+        capture = capture_front_end_vector(hierarchy, trace, config,
+                                           warmup_fraction)
+        if capture is not None:
+            result = replay_capture(
+                trace, policy, capture, config, seed=seed,
+                replacement=replacement,
+                warmup_sampling_boost=warmup_sampling_boost,
+                always_sample=always_sample,
+            )
+            return result, capture
 
     ops: list = []
     addrs: list = []

@@ -93,8 +93,9 @@ def vector_enabled() -> bool:
 
 def debug_enabled() -> bool:
     """``REPRO_VECTOR_REPLAY_DEBUG=1`` echoes decline reasons to stderr."""
-    value = os.environ.get(_DEBUG_ENV, "").strip().lower()
-    return bool(value) and value not in _FALSEY
+    # Deferred import: filtered.py imports this module at load time.
+    from .filtered import debug_flag
+    return debug_flag(_DEBUG_ENV)
 
 
 def record_decline(hierarchy, reason: str) -> None:

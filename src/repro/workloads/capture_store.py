@@ -48,6 +48,10 @@ CAPTURE_DIR_ENV = "REPRO_CAPTURE_DIR"
 CAPTURE_MAX_MB_ENV = "REPRO_CAPTURE_MAX_MB"
 _DEFAULT_MAX_MB = 512
 
+#: Environment knob for the in-process store's LRU capacity.
+CAPTURE_MEM_ENTRIES_ENV = "REPRO_CAPTURE_MEM_ENTRIES"
+_DEFAULT_MEM_ENTRIES = 16
+
 #: Event opcodes in the captured L1->L2 stream.
 OP_DEMAND_MISS = 0
 OP_METADATA = 1
@@ -161,11 +165,53 @@ def key_digest(key: str) -> str:
 # ----------------------------------------------------------------------
 # Stores
 # ----------------------------------------------------------------------
-class MemoryCaptureStore:
-    """Process-wide LRU of captures; the no-configuration default."""
+_WARNED_MEM_ENTRIES: set = set()
 
-    def __init__(self, max_entries: int = 16) -> None:
-        self.max_entries = max_entries
+
+def _resolve_mem_entries() -> int:
+    """``REPRO_CAPTURE_MEM_ENTRIES``, validated and clamped to >= 1.
+
+    A zero or negative capacity would evict every capture as it is
+    written, so each sweep cell re-captures; garbage falls back to the
+    default the same way. Either warns on stderr once per distinct bad
+    value per process (same clamp semantics as
+    ``REPRO_CAPTURE_MAX_MB``).
+    """
+    import sys
+
+    raw = os.environ.get(CAPTURE_MEM_ENTRIES_ENV, "").strip()
+    if not raw:
+        return _DEFAULT_MEM_ENTRIES
+    try:
+        entries = int(raw)
+    except ValueError:
+        entries = 0
+    if entries >= 1:
+        return entries
+    if raw not in _WARNED_MEM_ENTRIES:
+        _WARNED_MEM_ENTRIES.add(raw)
+        print(
+            f"repro: ignoring {CAPTURE_MEM_ENTRIES_ENV}={raw!r} "
+            f"(need an integer >= 1); using the "
+            f"{_DEFAULT_MEM_ENTRIES}-entry default",
+            file=sys.stderr,
+        )
+    return _DEFAULT_MEM_ENTRIES
+
+
+class MemoryCaptureStore:
+    """Process-wide LRU of captures; the no-configuration default.
+
+    The default capacity comes from ``REPRO_CAPTURE_MEM_ENTRIES``
+    (resolved at construction, and re-resolved on every
+    :func:`default_store` call for the shared singleton); pass
+    ``max_entries`` explicitly to pin a capacity regardless of the
+    environment.
+    """
+
+    def __init__(self, max_entries: Optional[int] = None) -> None:
+        self.max_entries = (_resolve_mem_entries()
+                            if max_entries is None else max_entries)
         self._entries: "OrderedDict[str, TraceCapture]" = OrderedDict()
 
     def get(self, key: str) -> Optional[TraceCapture]:
@@ -178,6 +224,9 @@ class MemoryCaptureStore:
             fingerprint: Optional[Dict] = None) -> None:
         self._entries[key] = capture
         self._entries.move_to_end(key)
+        self._trim()
+
+    def _trim(self) -> None:
         while len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)
 
@@ -364,6 +413,11 @@ def default_store():
     """
     root = os.environ.get(CAPTURE_DIR_ENV, "").strip()
     if not root:
+        # Honor capacity changes made after import: the singleton's
+        # limit tracks the environment, trimming immediately so a
+        # shrink takes effect without waiting for the next put.
+        _MEMORY_STORE.max_entries = _resolve_mem_entries()
+        _MEMORY_STORE._trim()
         return _MEMORY_STORE
     max_mb = _resolve_max_mb()
     cache_key = (os.path.abspath(root), max_mb)

@@ -1,0 +1,383 @@
+"""Batched front-end capture kernel: byte-identity, declines, store knob.
+
+Mirror of the replay-kernel suites for the capture side: every capture
+the kernel (:mod:`repro.sim.vector_frontend`) accepts must be
+byte-identical to the scalar ``capture_front_end`` walk — arrays,
+boundaries and frozen statistics — and every cell fed from it must
+serialize byte-for-byte like the scalar cold path, across all five
+policies, both capture stores, both worker modes and randomized
+trace/geometry space. Everything the kernel cannot represent must
+decline with a recorded reason and fall back to the scalar walk with
+identical bytes. Also covers the ``REPRO_CAPTURE_MEM_ENTRIES``
+capacity knob of the in-process store.
+"""
+
+import json
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.energy_model import LevelEnergyParams
+from repro.experiments.parallel import RunRequest, run_jobs
+from repro.mem.replacement import RandomReplacement
+from repro.sim.build import build_hierarchy
+from repro.sim.config import (
+    CacheLevelConfig,
+    CoreConfig,
+    DramConfig,
+    SlipParams,
+    SystemConfig,
+)
+from repro.sim.filtered import capture_front_end, run_trace_filtered
+from repro.sim.single_core import run_trace
+from repro.sim.vector_frontend import (
+    capture_front_end_vector,
+    frontend_eligible,
+)
+from repro.workloads.benchmarks import make_trace
+from repro.workloads.capture_store import (
+    _ARRAY_NAMES,
+    CAPTURE_MEM_ENTRIES_ENV,
+    DiskCaptureStore,
+    MemoryCaptureStore,
+    default_store,
+)
+from repro.workloads.trace import Trace
+
+POLICIES = ("baseline", "nurapid", "lru_pea", "slip", "slip_abp")
+LENGTH = 2_500
+
+
+def canonical(result) -> str:
+    return json.dumps(result.to_json(), sort_keys=True)
+
+
+def capture_pair(trace, config, monkeypatch, warmup_fraction=0.25):
+    """(scalar capture, kernel capture) of the same front end."""
+    monkeypatch.setenv("REPRO_VECTOR_FRONTEND", "0")
+    scalar = capture_front_end(trace, config, warmup_fraction)
+    monkeypatch.setenv("REPRO_VECTOR_FRONTEND", "1")
+    vector = capture_front_end(trace, config, warmup_fraction)
+    return scalar, vector
+
+
+def assert_captures_equal(vector, scalar):
+    assert (vector.n, vector.warmup, vector.event_boundary) == \
+        (scalar.n, scalar.warmup, scalar.event_boundary)
+    for name in _ARRAY_NAMES:
+        v, s = getattr(vector, name), getattr(scalar, name)
+        assert v.dtype == s.dtype, name
+        assert np.array_equal(v, s), name
+    assert json.dumps(vector.frozen, sort_keys=True) == \
+        json.dumps(scalar.frozen, sort_keys=True)
+
+
+def synthetic_trace(rng, length) -> Trace:
+    """A high-churn random trace: evictions, dirty victims, TLB misses."""
+    span = rng.choice((64, 256, 2_048))
+    addresses = np.asarray([rng.randrange(span) for _ in range(length)],
+                           dtype=np.int64)
+    is_write = np.asarray([rng.random() < 0.4 for _ in range(length)],
+                          dtype=bool)
+    return Trace(name=f"synthetic-{span}", addresses=addresses,
+                 is_write=is_write)
+
+
+# ----------------------------------------------------------------------
+# Byte-identical captures and cold cells
+# ----------------------------------------------------------------------
+class TestByteIdentity:
+    @pytest.mark.parametrize("bench", ("soplex", "lbm"))
+    def test_capture_matches_scalar(self, bench, tiny_system,
+                                    monkeypatch):
+        trace = make_trace(bench, LENGTH)
+        scalar, vector = capture_pair(trace, tiny_system, monkeypatch)
+        assert_captures_equal(vector, scalar)
+
+    def test_capture_matches_scalar_paper_geometry(self, paper_system,
+                                                   monkeypatch):
+        assert frontend_eligible(
+            build_hierarchy(paper_system, "baseline"))
+        trace = make_trace("soplex", LENGTH)
+        scalar, vector = capture_pair(trace, paper_system, monkeypatch)
+        assert_captures_equal(vector, scalar)
+
+    @pytest.mark.parametrize("warmup_fraction", (0.0, 0.25, 0.6, 1.0))
+    def test_warmup_boundary_edges(self, warmup_fraction, tiny_system,
+                                   monkeypatch):
+        """Array state crosses the reset; tallies split exactly."""
+        trace = make_trace("lbm", 1_100)
+        scalar, vector = capture_pair(trace, tiny_system, monkeypatch,
+                                      warmup_fraction=warmup_fraction)
+        assert_captures_equal(vector, scalar)
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    @pytest.mark.parametrize("store_kind", ("memory", "disk"))
+    def test_cold_cell_matches_scalar(self, policy, store_kind,
+                                      tiny_system, tmp_path,
+                                      monkeypatch):
+        """A cold cell fed by the kernel serializes identically."""
+        trace = make_trace("soplex", LENGTH)
+
+        def cold_cell(env: str) -> str:
+            monkeypatch.setenv("REPRO_VECTOR_FRONTEND", env)
+            store = (MemoryCaptureStore() if store_kind == "memory"
+                     else DiskCaptureStore(str(tmp_path / env)))
+            return canonical(run_trace_filtered(
+                trace, policy, config=tiny_system, store=store))
+
+        assert cold_cell("1") == cold_cell("0")
+
+    @pytest.mark.parametrize("policy", ("baseline", "slip_abp"))
+    def test_cold_cell_matches_direct(self, policy, tiny_system,
+                                      monkeypatch):
+        """Transitivity check straight to the unfiltered simulator."""
+        trace = make_trace("lbm", LENGTH)
+        monkeypatch.setenv("REPRO_VECTOR_FRONTEND", "1")
+        cold = run_trace_filtered(trace, policy, config=tiny_system,
+                                  store=MemoryCaptureStore())
+        assert canonical(cold) == canonical(
+            run_trace(trace, policy, config=tiny_system))
+
+    def test_capture_through_store_is_kernel_capture(self, tiny_system,
+                                                     monkeypatch):
+        """The cold baseline path stores the kernel's capture bytes."""
+        trace = make_trace("soplex", 1_400)
+        monkeypatch.setenv("REPRO_VECTOR_FRONTEND", "1")
+        store = MemoryCaptureStore()
+        run_trace_filtered(trace, "baseline", config=tiny_system,
+                           store=store)
+        (stored,) = store._entries.values()
+        monkeypatch.setenv("REPRO_VECTOR_FRONTEND", "0")
+        scalar = capture_front_end(trace, tiny_system)
+        assert_captures_equal(stored, scalar)
+
+
+# ----------------------------------------------------------------------
+# Worker parity: jobs=1 vs jobs=2, each over a fresh disk store
+# ----------------------------------------------------------------------
+@pytest.mark.multiproc
+def test_jobs_parity_vector_vs_scalar(tmp_path, monkeypatch):
+    grid = [RunRequest("soplex", policy, length=2_000)
+            for policy in ("baseline", "slip_abp")]
+    reports = {}
+    for label, env, jobs in (("scalar", "0", 1), ("serial", "1", 1),
+                             ("parallel", "1", 2)):
+        # A fresh store per mode keeps every run cold, so the capture
+        # itself (not just the replay) comes from the mode under test.
+        monkeypatch.setenv("REPRO_CAPTURE_DIR", str(tmp_path / label))
+        monkeypatch.setenv("REPRO_VECTOR_FRONTEND", env)
+        reports[label] = run_jobs(grid, jobs=jobs)
+    for base, ours, theirs in zip(reports["scalar"].results,
+                                  reports["serial"].results,
+                                  reports["parallel"].results):
+        assert ours.result == base.result, base.request.label()
+        assert theirs.result == base.result, base.request.label()
+
+
+# ----------------------------------------------------------------------
+# Randomized trace/geometry property test (hypothesis-style)
+# ----------------------------------------------------------------------
+def _random_frontend_system(rng) -> SystemConfig:
+    """Vary exactly what the front end observes: L1 shape, TLB size."""
+    ways = rng.choice((1, 2, 4, 8))
+    sets = rng.choice((2, 4, 8, 16))
+    l1 = CacheLevelConfig(
+        name="L1",
+        size_bytes=sets * ways * 64,
+        ways=ways,
+        latency_cycles=rng.randint(1, 4),
+        access_energy_pj=rng.choice((1.0, 2.5)),
+    )
+    # Partitioned L2/L3 (the slip runtime requires sublevels); only
+    # the L1/TLB shape above matters to the front-end kernel.
+    l2 = CacheLevelConfig(name="L2", size_bytes=4096, ways=4,
+                          latency_cycles=3, access_energy_pj=10.0,
+                          sublevel_ways=(1, 1, 2),
+                          sublevel_energy_pj=(6.0, 9.0, 13.0),
+                          sublevel_latency=(2, 3, 4))
+    l3 = CacheLevelConfig(name="L3", size_bytes=16384, ways=8,
+                          latency_cycles=8, access_energy_pj=40.0,
+                          sublevel_ways=(2, 2, 4),
+                          sublevel_energy_pj=(20.0, 35.0, 55.0),
+                          sublevel_latency=(6, 8, 10))
+    return SystemConfig(
+        l1=l1, l2=l2, l3=l3,
+        dram=DramConfig(latency_cycles=50, energy_pj_per_bit=2.0),
+        slip=SlipParams(), core=CoreConfig(),
+        tlb_entries=rng.choice((2, 4, 8, 64)),
+    )
+
+
+@pytest.mark.parametrize("case_seed", range(8))
+def test_random_geometry_property(case_seed, monkeypatch):
+    rng = random.Random(9_000 + case_seed)
+    config = _random_frontend_system(rng)
+    length = rng.randint(900, 2_200)
+    if rng.random() < 0.5:
+        trace = synthetic_trace(rng, length)
+    else:
+        trace = make_trace(rng.choice(("soplex", "lbm", "mcf")),
+                           length, seed=rng.randint(0, 99))
+    scalar, vector = capture_pair(trace, config, monkeypatch)
+    assert_captures_equal(vector, scalar)
+    policy = POLICIES[case_seed % len(POLICIES)]
+    monkeypatch.setenv("REPRO_VECTOR_FRONTEND", "1")
+    cold = run_trace_filtered(trace, policy, config=config,
+                              store=MemoryCaptureStore())
+    assert canonical(cold) == canonical(
+        run_trace(trace, policy, config=config))
+
+
+# ----------------------------------------------------------------------
+# Decline matrix: every ineligible shape records why it fell back
+# ----------------------------------------------------------------------
+class TestDecline:
+    def test_default_hierarchy_is_eligible(self, tiny_system):
+        assert frontend_eligible(build_hierarchy(tiny_system,
+                                                 "baseline"))
+
+    def test_simcheck_declines(self, tiny_system, monkeypatch):
+        monkeypatch.setenv("REPRO_CHECK_INVARIANTS", "1")
+        hierarchy = build_hierarchy(tiny_system, "baseline")
+        assert not frontend_eligible(hierarchy)
+        assert hierarchy.vector_frontend_decline == "simcheck"
+
+    def test_rd_block_mode_declines(self, tiny_system):
+        config = tiny_system.with_slip(rd_block_lines=8)
+        hierarchy = build_hierarchy(config, "slip")
+        assert not frontend_eligible(hierarchy)
+        assert hierarchy.vector_frontend_decline == "rd-block"
+
+    def test_non_lru_l1_replacement_declines(self, tiny_system):
+        hierarchy = build_hierarchy(tiny_system, "baseline")
+        hierarchy.l1.replacement = RandomReplacement()
+        assert not frontend_eligible(hierarchy)
+        assert (hierarchy.vector_frontend_decline
+                == "l1-replacement:RandomReplacement")
+
+    def test_partitioned_l1_declines_and_falls_back(self, tiny_system,
+                                                    monkeypatch):
+        """Non-uniform L1: decline, and the scalar walk still serves."""
+        l1 = CacheLevelConfig(
+            name="L1", size_bytes=1024, ways=2, latency_cycles=1,
+            access_energy_pj=1.0, sublevel_ways=(1, 1),
+            sublevel_energy_pj=(0.8, 1.4), sublevel_latency=(1, 2),
+        )
+        config = SystemConfig(
+            l1=l1, l2=tiny_system.l2, l3=tiny_system.l3,
+            dram=tiny_system.dram, slip=tiny_system.slip,
+            core=tiny_system.core, tlb_entries=tiny_system.tlb_entries,
+        )
+        hierarchy = build_hierarchy(config, "baseline")
+        assert not frontend_eligible(hierarchy)
+        assert hierarchy.vector_frontend_decline == "l1-geometry"
+        trace = make_trace("soplex", 1_200)
+        scalar, fallback = capture_pair(trace, config, monkeypatch)
+        assert_captures_equal(fallback, scalar)
+
+    def test_env_flag_declines(self, tiny_system, monkeypatch):
+        monkeypatch.setenv("REPRO_VECTOR_FRONTEND", "0")
+        trace = make_trace("soplex", 1_200)
+        hierarchy = build_hierarchy(tiny_system, "baseline")
+        assert capture_front_end_vector(hierarchy, trace,
+                                        tiny_system) is None
+        assert (hierarchy.vector_frontend_decline
+                == "env:REPRO_VECTOR_FRONTEND")
+
+    def test_successful_capture_clears_decline(self, tiny_system,
+                                               monkeypatch):
+        monkeypatch.setenv("REPRO_VECTOR_FRONTEND", "1")
+        trace = make_trace("soplex", 1_200)
+        hierarchy = build_hierarchy(tiny_system, "baseline")
+        assert capture_front_end_vector(hierarchy, trace,
+                                        tiny_system) is not None
+        assert hierarchy.vector_frontend_decline is None
+
+    def test_debug_flag_echoes_reason_to_stderr(self, tiny_system,
+                                                monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_VECTOR_FRONTEND", "0")
+        monkeypatch.setenv("REPRO_VECTOR_FRONTEND_DEBUG", "1")
+        hierarchy = build_hierarchy(tiny_system, "baseline")
+        trace = make_trace("soplex", 800)
+        assert capture_front_end_vector(hierarchy, trace,
+                                        tiny_system) is None
+        captured = capsys.readouterr()
+        assert ("vector-frontend: decline (env:REPRO_VECTOR_FRONTEND)"
+                in captured.err)
+        assert captured.out == ""  # stdout stays deterministic
+
+    def test_energy_overrides_still_bypass_filtered(self, tiny_system,
+                                                    monkeypatch):
+        """Overrides bypass capture entirely; the kernel never runs."""
+        monkeypatch.setenv("REPRO_VECTOR_FRONTEND", "1")
+        l1 = tiny_system.l1
+        overrides = {
+            "L1": LevelEnergyParams(
+                sublevel_capacity_lines=(
+                    l1.size_bytes // l1.line_size,),
+                sublevel_energy_pj=(l1.access_energy_pj * 0.5,),
+                next_level_energy_pj=10.0,
+            )
+        }
+        trace = make_trace("soplex", 1_200)
+        store = MemoryCaptureStore()
+        filtered = run_trace_filtered(
+            trace, "baseline", config=tiny_system, store=store,
+            level_energy_overrides=overrides,
+        )
+        assert not store._entries
+        assert filtered == run_trace(trace, "baseline",
+                                     config=tiny_system,
+                                     level_energy_overrides=overrides)
+
+
+# ----------------------------------------------------------------------
+# REPRO_CAPTURE_MEM_ENTRIES: in-process store capacity knob
+# ----------------------------------------------------------------------
+class TestMemEntriesKnob:
+    def test_default_capacity(self, monkeypatch):
+        monkeypatch.delenv(CAPTURE_MEM_ENTRIES_ENV, raising=False)
+        assert MemoryCaptureStore().max_entries == 16
+
+    def test_env_sets_capacity_and_evicts_lru(self, monkeypatch):
+        monkeypatch.setenv(CAPTURE_MEM_ENTRIES_ENV, "3")
+        store = MemoryCaptureStore()
+        assert store.max_entries == 3
+        for key in ("a", "b", "c", "d"):
+            store.put(key, object())
+        assert list(store._entries) == ["b", "c", "d"]
+
+    def test_explicit_argument_wins(self, monkeypatch):
+        monkeypatch.setenv(CAPTURE_MEM_ENTRIES_ENV, "3")
+        assert MemoryCaptureStore(max_entries=5).max_entries == 5
+
+    @pytest.mark.parametrize("raw", ("frontend-bogus", "-2"))
+    def test_bad_value_clamps_with_one_warning(self, raw, monkeypatch,
+                                               capsys):
+        monkeypatch.setenv(CAPTURE_MEM_ENTRIES_ENV, raw)
+        assert MemoryCaptureStore().max_entries == 16
+        assert MemoryCaptureStore().max_entries == 16
+        err = capsys.readouterr().err
+        message = (f"repro: ignoring {CAPTURE_MEM_ENTRIES_ENV}="
+                   f"{raw!r} (need an integer >= 1); using the "
+                   f"16-entry default")
+        assert err.count(message) == 1  # warned once per value
+
+    def test_default_store_retracks_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CAPTURE_DIR", raising=False)
+        monkeypatch.setenv(CAPTURE_MEM_ENTRIES_ENV, "2")
+        store = default_store()
+        store.clear()
+        try:
+            assert store.max_entries == 2
+            store.put("x", object())
+            store.put("y", object())
+            monkeypatch.setenv(CAPTURE_MEM_ENTRIES_ENV, "1")
+            again = default_store()
+            assert again is store       # same process-wide singleton
+            assert again.max_entries == 1
+            assert list(store._entries) == ["y"]  # shrink trims now
+        finally:
+            store.clear()
