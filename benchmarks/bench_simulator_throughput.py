@@ -13,6 +13,7 @@ from repro.experiments.parallel import RunRequest, run_jobs
 from repro.sim.build import build_hierarchy
 from repro.sim.config import default_system
 from repro.sim.filtered import capture_front_end, run_trace_filtered
+from repro.sim.single_core import run_trace
 from repro.workloads.benchmarks import make_trace
 from repro.workloads.capture_store import MemoryCaptureStore
 
@@ -109,6 +110,41 @@ def test_capture_cell(benchmark, bench):
                               iterations=1) == N
 
 
+DIRECT_CELLS = (("soplex", "baseline"), ("soplex", "slip_abp"))
+
+
+def make_direct_cell(bench: str, policy: str):
+    """A zero-arg composed direct-run closure for one cell.
+
+    Every call is one full ``run_trace`` — the cold path a user pays
+    without a capture store: front-end kernel capture composed with
+    kernel replay (``try_run_direct``), scalar walk on decline. The
+    first call builds the ReplayPlan; later calls hit the in-process
+    direct-plan LRU, which is the steady state a sweep of cold cells
+    sees. Also used by ``scripts/throughput_gate.py`` for the
+    direct-drive gates.
+    """
+    config = default_system()
+    trace = make_trace(bench, N)
+
+    def direct() -> int:
+        result = run_trace(trace, policy, config=config)
+        return result.counters.demand_accesses
+
+    return direct
+
+
+@pytest.mark.parametrize("bench,policy", DIRECT_CELLS,
+                         ids=[f"{b}-{p}" for b, p in DIRECT_CELLS])
+def test_direct_cell(benchmark, bench, policy):
+    # Composed pipeline vs the scalar `drive` above: the same trace and
+    # geometry, so a decline regression (pipeline silently falling back
+    # to the scalar walk) shows up as this converging on drive()'s cost.
+    direct = make_direct_cell(bench, policy)
+    assert benchmark.pedantic(direct, rounds=3, warmup_rounds=1,
+                              iterations=1) == MEASURED
+
+
 def sweep(jobs: int) -> int:
     report = run_jobs(SWEEP_GRID, jobs=jobs)
     return report.total_accesses
@@ -118,7 +154,7 @@ def test_sweep_throughput_serial(benchmark):
     # One warmup round populates the capture store (capture-through),
     # so the measured rounds time the replay path — the same protocol
     # as scripts/throughput_gate.py, which warms before timing.
-    assert benchmark.pedantic(sweep, args=(1,), rounds=2,
+    assert benchmark.pedantic(sweep, args=(1,), rounds=3,
                               warmup_rounds=1,
                               iterations=1) == N * len(SWEEP_GRID)
 

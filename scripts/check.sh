@@ -53,17 +53,20 @@ else
 fi
 
 # Throughput regression gates: re-time the slip_abp drive, the serial
-# (filtered-replay) sweep, the warm slip/slip_abp replay cells and the
-# cold front-end captures; fail if any lands >20% above the mean
-# recorded in BENCH_throughput.json.
-stage "throughput gate (slip_abp + sweep + replay + capture)" \
+# (filtered-replay) sweep, the warm slip/slip_abp replay cells, the
+# cold front-end captures and the composed direct runs; fail if any
+# lands >20% above the mean recorded in BENCH_throughput.json.
+stage "throughput gate (slip_abp + sweep + replay + capture + direct)" \
     python scripts/throughput_gate.py
 
 # Filtered-replay smoke: one capture-through cell plus one replayed
-# SLIP cell must be byte-identical to their direct runs.
+# SLIP cell must be byte-identical to their scalar runs. The reference
+# side pins REPRO_DIRECT_PIPELINE=0 so run_trace really is the scalar
+# golden walk, not the composed kernel pipeline it now defaults to.
 filtered_smoke() {
     python - <<'EOF'
 import json
+import os
 from repro.sim.filtered import run_trace_filtered
 from repro.sim.single_core import run_trace
 from repro.workloads.benchmarks import make_trace
@@ -72,16 +75,49 @@ from repro.workloads.capture_store import MemoryCaptureStore
 trace = make_trace("soplex", 4000)
 store = MemoryCaptureStore()
 for policy in ("baseline", "slip_abp"):
-    direct = json.dumps(run_trace(trace, policy).to_json(),
+    os.environ["REPRO_DIRECT_PIPELINE"] = "0"
+    scalar = json.dumps(run_trace(trace, policy).to_json(),
                         sort_keys=True)
+    del os.environ["REPRO_DIRECT_PIPELINE"]
     filtered = json.dumps(
         run_trace_filtered(trace, policy, store=store).to_json(),
         sort_keys=True)
-    assert direct == filtered, f"{policy}: filtered != direct"
+    assert scalar == filtered, f"{policy}: filtered != scalar"
+    composed = json.dumps(run_trace(trace, policy).to_json(),
+                          sort_keys=True)
+    assert composed == scalar, f"{policy}: direct pipeline != scalar"
 assert len(store._entries) == 1, "capture was not shared"
 EOF
 }
-stage "filtered-replay smoke (filtered == direct)" filtered_smoke
+stage "filtered-replay smoke (filtered == direct == scalar)" filtered_smoke
+
+# Replay-plan smoke: plans on (the default) and plans off must replay
+# byte-identically for a baseline-kind and a slip-kind cell, through
+# both kernels, from one shared capture.
+plan_smoke() {
+    python - <<'EOF'
+import json
+import os
+from repro.sim.filtered import run_trace_filtered
+from repro.workloads.benchmarks import make_trace
+from repro.workloads.capture_store import MemoryCaptureStore
+
+def canon(result):
+    return json.dumps(result.to_json(), sort_keys=True)
+
+trace = make_trace("soplex", 4000)
+store = MemoryCaptureStore()
+for policy in ("baseline", "slip_abp"):
+    run_trace_filtered(trace, policy, store=store)  # capture-through
+    os.environ["REPRO_REPLAY_PLAN"] = "0"
+    unplanned = canon(run_trace_filtered(trace, policy, store=store))
+    os.environ["REPRO_REPLAY_PLAN"] = "1"
+    planned = canon(run_trace_filtered(trace, policy, store=store))
+    assert planned == unplanned, f"{policy}: planned != unplanned"
+del os.environ["REPRO_REPLAY_PLAN"]
+EOF
+}
+stage "replay-plan smoke (planned == unplanned)" plan_smoke
 
 # Vector-replay smoke: every eligible policy kind replayed through the
 # batched numpy kernel must serialize byte-identically to the scalar

@@ -17,7 +17,11 @@ at the repo root:
   baseline cells;
 * cold front-end captures of both bench traces — the batched
   vector_frontend kernel; a decline regression here multiplies the
-  cost every cold sweep cell pays before its first replay.
+  cost every cold sweep cell pays before its first replay;
+* composed direct runs (``run_trace`` -> ``try_run_direct``) of the
+  soplex baseline and slip_abp cells — the end-to-end kernel pipeline
+  behind every store-less run; a decline regression here converges on
+  the scalar drive's cost (several times slower).
 
 Fails (exit 1) when either measurement exceeds its recorded mean by
 more than the tolerance (default 20%).
@@ -46,6 +50,7 @@ BENCH_NAME = "test_throughput_slip_abp"
 SWEEP_BENCH_NAME = "test_sweep_throughput_serial"
 REPLAY_CELLS = (("soplex", "slip"), ("soplex", "slip_abp"))
 CAPTURE_CELLS = ("soplex", "lbm")
+DIRECT_CELLS = (("soplex", "baseline"), ("soplex", "slip_abp"))
 
 
 def replay_bench_name(bench: str, policy: str) -> str:
@@ -54,6 +59,10 @@ def replay_bench_name(bench: str, policy: str) -> str:
 
 def capture_bench_name(bench: str) -> str:
     return f"test_capture_cell[{bench}]"
+
+
+def direct_bench_name(bench: str, policy: str) -> str:
+    return f"test_direct_cell[{bench}-{policy}]"
 
 
 def recorded_mean_s(path: str, name: str) -> float:
@@ -127,6 +136,26 @@ def make_measure_replay_s(cell_bench: str, policy: str):
     return measure
 
 
+def make_measure_direct_s(cell_bench: str, policy: str):
+    def measure(repeats: int) -> float:
+        bench = _import_bench()
+        direct = bench.make_direct_cell(cell_bench, policy)
+        best = float("inf")
+        direct()  # warmup: first call builds the cell's ReplayPlan
+        for _ in range(repeats):
+            started = time.perf_counter()
+            accesses = direct()
+            elapsed = time.perf_counter() - started
+            if accesses != bench.MEASURED:
+                raise AssertionError(
+                    f"direct run returned {accesses}, "
+                    f"want {bench.MEASURED}")
+            best = min(best, elapsed)
+        return best
+
+    return measure
+
+
 def make_measure_capture_s(cell_bench: str):
     def measure(repeats: int) -> float:
         bench = _import_bench()
@@ -170,6 +199,10 @@ def main(argv=None) -> int:
         (f"capture-{b}", capture_bench_name(b),
          make_measure_capture_s(b))
         for b in CAPTURE_CELLS
+    ) + tuple(
+        (f"direct-{b}-{p}", direct_bench_name(b, p),
+         make_measure_direct_s(b, p))
+        for b, p in DIRECT_CELLS
     )
     failed = False
     for label, name, measure in gates:

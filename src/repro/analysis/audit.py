@@ -465,6 +465,54 @@ TWIN_REGISTRY: Tuple[TwinPair, ...] = (
             "stats.writes", "valid_count",
         }),
     ),
+    TwinPair(
+        # The composed direct pipeline (kernel capture -> kernel
+        # replay behind run_trace) vs the golden scalar walk. Both
+        # sides reach almost every counter through their callees (the
+        # kernels publish via adopt_counts, the scalar walk drives the
+        # live hierarchy), so the shared set is the union of the other
+        # twin pairs' surfaces; the frozen-L1 restore assigns a whole
+        # EnergyBreakdown object (fast-only ``stats.energy``) while the
+        # live-runtime ledger fields the replay restores wholesale are
+        # ref-only. Neither body bumps a counter directly.
+        pair_id="replay-plan",
+        fast="try_run_direct",
+        refs=("_run_trace_scalar",),
+        shared=frozenset({
+            "_alloc_rotor", "_clock", "access_counter", "counters",
+            "counters.demand_accesses", "counters.dram_demand_reads",
+            "counters.dram_metadata_reads", "counters.dram_writebacks",
+            "counters.l1_hits", "counters.total_latency_cycles",
+            "stats", "stats._metadata_pj", "stats._read_pj_table",
+            "stats._write_pj_table", "stats.bypasses",
+            "stats.demand_hits", "stats.demand_misses",
+            "stats.dirty_bypass_forwards",
+            "stats.energy.insertion_pj", "stats.energy.metadata_pj",
+            "stats.energy.movement_pj",
+            "stats.energy.movement_queue_pj", "stats.energy.read_pj",
+            "stats.energy.writeback_pj", "stats.energy_pj",
+            "stats.hits", "stats.hits_by_sublevel[]",
+            "stats.insert_events[]", "stats.insertion_pj",
+            "stats.insertions", "stats.insertions_by_class[]",
+            "stats.metadata_events", "stats.metadata_hits",
+            "stats.metadata_misses", "stats.metadata_pj",
+            "stats.move_read_events[]", "stats.move_write_events[]",
+            "stats.movement_pj", "stats.movements",
+            "stats.read_events[]", "stats.read_pj", "stats.reads",
+            "stats.reuse_histogram[]", "stats.wb_in_events[]",
+            "stats.wb_out_events[]", "stats.writeback_pj",
+            "stats.writebacks_in", "stats.writebacks_out",
+            "stats.writes", "valid_count",
+        }),
+        fast_only=frozenset({"stats.energy"}),
+        ref_only=frozenset({
+            "stats.distribution_fetches", "stats.misses",
+            "stats.optimizations", "stats.policy_recomputations",
+            "stats.state_transitions_to_sampling",
+            "stats.state_transitions_to_stable",
+            "stats.tlb_block_cycles", "stats.tlb_miss_fetches",
+        }),
+    ),
 )
 
 _PAIRS_BY_FAST: Dict[str, TwinPair] = {p.fast: p for p in TWIN_REGISTRY}

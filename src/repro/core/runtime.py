@@ -198,12 +198,19 @@ class SlipRuntime(BaselineRuntime):
     # Page metadata lifecycle
     # ------------------------------------------------------------------
     def _new_entry(self) -> SlipPageEntry:
+        # ``ReuseDistanceDistribution.fresh`` unrolled: one entry is
+        # built per first-touched page and the classmethod dispatch per
+        # level is measurable on the sampling path.
         counter_max = self._counter_max
-        fresh = ReuseDistanceDistribution.fresh
-        distributions = {
-            name: fresh(boundaries, counter_max, num_bins)
-            for name, boundaries, num_bins in self._dist_protos
-        }
+        cls = ReuseDistanceDistribution
+        new = cls.__new__
+        distributions = {}
+        for name, boundaries, num_bins in self._dist_protos:
+            dist = new(cls)
+            dist.boundaries = boundaries
+            dist.counter_max = counter_max
+            dist.counts = [0] * num_bins
+            distributions[name] = dist
         return SlipPageEntry(
             self.sampler.initial_state(), dict(self._default_ids),
             distributions,

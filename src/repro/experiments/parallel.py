@@ -145,10 +145,13 @@ def execute_request(request: Request) -> JobResult:
         # Filtered capture/replay: workers consult the capture store
         # (in-memory, or the shared on-disk store when
         # REPRO_CAPTURE_DIR is set) before simulating the front end.
-        # Replayed baseline-kind cells then dispatch to the batched
-        # numpy back end (repro.sim.vector_replay) unless
-        # REPRO_VECTOR_REPLAY=0; both knobs are plain environment
-        # variables, so pool workers inherit the caller's choice.
+        # Replayed cells dispatch to the batched back ends —
+        # repro.sim.vector_replay for baseline-kind policies,
+        # repro.sim.vector_replay_slip for slip kinds — fed by the
+        # store's cached ReplayPlan unless REPRO_REPLAY_PLAN=0, and
+        # gated by REPRO_VECTOR_REPLAY; all three knobs are plain
+        # environment variables, so pool workers inherit the caller's
+        # choice.
         result = run_trace_filtered(
             trace,
             request.policy,

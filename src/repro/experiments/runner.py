@@ -153,6 +153,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="profile the run with cProfile and dump "
                              "pstats to PATH (forces --jobs 1; inspect "
                              "with `python -m pstats PATH`)")
+    parser.add_argument("--kernel-report", action="store_true",
+                        help="after the run, print per-kernel run and "
+                             "decline tallies for this process (pool "
+                             "workers keep their own counts)")
     args = parser.parse_args(argv)
 
     if args.list:
@@ -231,6 +235,13 @@ def main(argv: Optional[List[str]] = None) -> int:
                   f"`python -m pstats {args.profile}`]")
     else:
         run_selected()
+
+    if args.kernel_report:
+        # "["-prefixed like every timing line, so determinism diffs of
+        # the table bodies stay clean (see scripts/check.sh det_smoke).
+        from ..sim.kernel_report import kernel_report_lines
+
+        print("\n".join(kernel_report_lines()))
 
     if args.markdown:
         header = (

@@ -25,6 +25,24 @@ from .replacement import LruReplacement, ReplacementPolicy
 
 
 @dataclass
+class KernelDeclines:
+    """Why each batched kernel last bypassed this hierarchy.
+
+    One structured record for all vectorized kernels: ``replay`` covers
+    both replay flavours (:mod:`repro.sim.vector_replay` and
+    :mod:`repro.sim.vector_replay_slip`), ``frontend`` the capture
+    kernel (:mod:`repro.sim.vector_frontend`). A field is ``None``
+    after a successful kernel run (or before any attempt) and holds
+    the decline reason string otherwise; all updates flow through
+    :mod:`repro.sim.kernel_report`, which also aggregates process-wide
+    counts for ``slip-experiments --kernel-report``.
+    """
+
+    replay: Optional[str] = None
+    frontend: Optional[str] = None
+
+
+@dataclass
 class HierarchyCounters:
     """Cross-level counters not attributable to a single cache."""
 
@@ -90,13 +108,10 @@ class MemoryHierarchy:
         # SimCheck: no-op unless REPRO_CHECK_INVARIANTS is set, in which
         # case conservation/consistency checkers wrap this hierarchy.
         self.simcheck = maybe_install(self, l3_shared=shared_l3 is not None)
-        # Why the most recent vector-replay kernel attempt bypassed this
-        # hierarchy (None after a successful kernel run or before any
-        # attempt); see repro.sim.vector_replay.record_decline.
-        self.vector_replay_decline: Optional[str] = None
-        # Same contract for the batched front-end capture kernel; see
-        # repro.sim.vector_frontend.record_decline.
-        self.vector_frontend_decline: Optional[str] = None
+        # Why the most recent kernel attempt (replay or front-end
+        # capture) bypassed this hierarchy; updated through
+        # repro.sim.kernel_report.record_decline / record_success.
+        self.kernel_declines = KernelDeclines()
         # Inline L1 hit fast path: legal only when nothing observes the
         # individual accounting calls (SimCheck wraps record_hit on the
         # instance) and L1 runs the stock LRU stamp, which is all this
@@ -131,6 +146,27 @@ class MemoryHierarchy:
             or (pk is SlipRuntime.profile_key
                 and runtime.block_shift is None)
         )
+
+    # ------------------------------------------------------------------
+    # Kernel decline record (flat aliases kept for existing callers)
+    # ------------------------------------------------------------------
+    @property
+    def vector_replay_decline(self) -> Optional[str]:
+        """Alias of ``kernel_declines.replay`` (the historical name)."""
+        return self.kernel_declines.replay
+
+    @vector_replay_decline.setter
+    def vector_replay_decline(self, reason: Optional[str]) -> None:
+        self.kernel_declines.replay = reason
+
+    @property
+    def vector_frontend_decline(self) -> Optional[str]:
+        """Alias of ``kernel_declines.frontend``."""
+        return self.kernel_declines.frontend
+
+    @vector_frontend_decline.setter
+    def vector_frontend_decline(self, reason: Optional[str]) -> None:
+        self.kernel_declines.frontend = reason
 
     # ------------------------------------------------------------------
     def page_of(self, line_addr: int) -> int:

@@ -71,12 +71,17 @@ stream is not captured), when per-level energy overrides are supplied
 from __future__ import annotations
 
 import os
+from collections import OrderedDict
 from dataclasses import asdict
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from ..analysis.invariants import check_capture_replay, invariants_enabled
+from ..analysis.invariants import (
+    InvariantViolation,
+    check_capture_replay,
+    invariants_enabled,
+)
 from ..core.energy_model import LevelEnergyParams
 from ..core.runtime import RuntimeStats
 from ..mem.stats import EnergyBreakdown, LevelStats
@@ -95,6 +100,13 @@ from ..workloads.capture_store import (
 from ..workloads.trace import Trace
 from .build import build_hierarchy, maybe_boost_sampler, runtime_kind
 from .config import SystemConfig, default_system
+from .replay_plan import (
+    build_plan,
+    ensure_plan_verified,
+    plan_enabled,
+    plan_geometry,
+    plan_geometry_key,
+)
 from .results import RunResult, collect_result
 from .single_core import run_trace
 from .timing import execution_time
@@ -103,12 +115,19 @@ from .vector_replay import replay_capture_vector
 from .vector_replay_slip import replay_capture_vector_slip
 
 _FILTERED_ENV = "REPRO_FILTERED"
+_DIRECT_ENV = "REPRO_DIRECT_PIPELINE"
 _FALSEY = ("0", "false", "no", "off")
 
 
 def filtered_enabled() -> bool:
     """Filtered replay is on unless ``REPRO_FILTERED`` disables it."""
     return os.environ.get(_FILTERED_ENV, "").strip().lower() not in _FALSEY
+
+
+def direct_enabled() -> bool:
+    """The composed direct pipeline is on unless
+    ``REPRO_DIRECT_PIPELINE`` disables it."""
+    return os.environ.get(_DIRECT_ENV, "").strip().lower() not in _FALSEY
 
 
 def debug_flag(env_var: str) -> bool:
@@ -556,13 +575,22 @@ def replay_capture(
     warmup_sampling_boost: bool = True,
     level_energy_overrides: Optional[Dict[str, LevelEnergyParams]] = None,
     always_sample: bool = False,
+    plan=None,
+    hierarchy=None,
 ) -> RunResult:
-    """Build only the back end and feed it the captured boundary."""
-    hierarchy = build_hierarchy(
-        config, policy, seed=seed, replacement=replacement,
-        level_energy_overrides=level_energy_overrides,
-        always_sample=always_sample,
-    )
+    """Build only the back end and feed it the captured boundary.
+
+    ``plan`` optionally carries the verified policy-invariant replay
+    precompute (see :mod:`~repro.sim.replay_plan`) shared across cells;
+    ``hierarchy`` lets the composed direct pipeline reuse the hierarchy
+    it already built for the capture-kernel eligibility probe.
+    """
+    if hierarchy is None:
+        hierarchy = build_hierarchy(
+            config, policy, seed=seed, replacement=replacement,
+            level_energy_overrides=level_energy_overrides,
+            always_sample=always_sample,
+        )
     if hierarchy.simcheck is not None:
         raise CaptureError("replay cannot run under SimCheck")
     runtime = hierarchy.runtime
@@ -574,13 +602,14 @@ def replay_capture(
         # Phase-split kernel first; it declines (returns False) outside
         # its eligibility matrix and the scalar walk stays the golden
         # reference.
-        if not replay_capture_vector_slip(hierarchy, trace, capture):
+        if not replay_capture_vector_slip(hierarchy, trace, capture,
+                                          plan):
             _replay_slip(hierarchy, trace, capture)
     else:
         # Batched kernel first; it declines (returns False) whenever
         # the hierarchy is outside its eligibility matrix, and the
         # scalar walk below remains the golden reference.
-        if not replay_capture_vector(hierarchy, capture):
+        if not replay_capture_vector(hierarchy, capture, plan):
             _replay_events(hierarchy, capture)
 
     # Merge the frozen front end. The replay's own L1 is empty (never
@@ -601,6 +630,35 @@ def replay_capture(
     )
     timing = execution_time(hierarchy, measured_instructions, config.core)
     return collect_result(policy, trace.name, config, hierarchy, timing)
+
+
+# ----------------------------------------------------------------------
+# Plan resolution (store-backed)
+# ----------------------------------------------------------------------
+def _resolve_plan(store, key: str, geometry: Dict,
+                  capture: TraceCapture, trace: Trace):
+    """The verified plan for one (capture, geometry), building on miss.
+
+    Loaded plans (memory hit or disk sidecar) are structurally
+    validated and pushed through the ``replay-plan-conservation``
+    invariant before first use; any failure invalidates the cached
+    plan and falls through to a fresh build, so a damaged or stale
+    sidecar can only ever cost a rebuild, never change a result.
+    """
+    geom_key = plan_geometry_key(geometry)
+    plan = store.get_plan(key, geom_key)
+    if plan is not None and not plan.verified:
+        try:
+            plan.validate(capture)
+            ensure_plan_verified(plan, capture, trace)
+        except (CaptureError, InvariantViolation):
+            store.invalidate_plan(key, geom_key)
+            plan = None
+    if plan is None:
+        plan = ensure_plan_verified(
+            build_plan(capture, trace, geometry), capture, trace)
+        store.put_plan(key, geom_key, plan)
+    return plan
 
 
 # ----------------------------------------------------------------------
@@ -673,10 +731,93 @@ def run_trace_filtered(
                 always_sample=always_sample,
             )
         store.put(key, capture, fingerprint=fingerprint)
+    plan = None
+    if plan_enabled():
+        plan = _resolve_plan(store, key, plan_geometry(config),
+                             capture, trace)
     return replay_capture(
         trace, policy, capture, config, seed=seed,
         replacement=replacement,
         warmup_sampling_boost=warmup_sampling_boost,
         level_energy_overrides=level_energy_overrides,
         always_sample=always_sample,
+        plan=plan,
+    )
+
+
+# ----------------------------------------------------------------------
+# Composed direct pipeline (kernel capture -> kernel replay)
+# ----------------------------------------------------------------------
+#: Process-local plan cache for direct runs: the composed pipeline
+#: deliberately writes nothing to the shared capture store (direct runs
+#: are one-shot; "cold" means cold), but repeated direct runs of the
+#: same (front end, geometry) in one process still share the plan.
+_DIRECT_PLANS: "OrderedDict[Tuple[str, str], object]" = OrderedDict()
+_DIRECT_PLAN_LIMIT = 4
+
+
+# slip-audit: twin=replay-plan role=fast
+def try_run_direct(
+    hierarchy,
+    trace: Trace,
+    policy: str,
+    config: SystemConfig,
+    seed: int = 0,
+    replacement: str = "lru",
+    warmup_fraction: float = 0.25,
+    warmup_sampling_boost: bool = True,
+    level_energy_overrides: Optional[Dict[str, LevelEnergyParams]] = None,
+    always_sample: bool = False,
+) -> Optional[RunResult]:
+    """One direct run as kernel capture + kernel replay, or ``None``.
+
+    The composed fast path behind :func:`~repro.sim.single_core.
+    run_trace`: capture the front end with the batched kernel (the
+    caller's freshly built ``hierarchy`` is only consulted for
+    eligibility there, so reusing it for the replay is safe), then
+    replay the capture against the same hierarchy. Declines — returning
+    ``None`` so the caller walks the trace scalar — mirror
+    :func:`run_trace_filtered`'s bypass matrix (``REPRO_FILTERED=0``,
+    SimCheck, per-level energy overrides, rd-block SLIP) plus
+    ``REPRO_DIRECT_PIPELINE=0`` and every front-end kernel decline.
+    Never recurses into ``run_trace`` and never touches the shared
+    capture store: a direct run stays a self-contained cold run.
+    """
+    if (
+        not direct_enabled()
+        or not filtered_enabled()
+        or invariants_enabled()
+        or level_energy_overrides
+        or (runtime_kind(policy) == "slip" and config.slip.rd_block_lines)
+    ):
+        return None
+    geometry = plan_geometry(config)
+    plan = None
+    plan_key = None
+    if plan_enabled():
+        fingerprint = front_end_fingerprint(
+            trace, config, seed, warmup_fraction,
+        )
+        plan_key = (fingerprint_key(fingerprint),
+                    plan_geometry_key(geometry))
+        plan = _DIRECT_PLANS.get(plan_key)
+        if plan is not None:
+            _DIRECT_PLANS.move_to_end(plan_key)
+    capture = capture_front_end_vector(hierarchy, trace, config,
+                                       warmup_fraction, plan)
+    if capture is None:
+        return None
+    if plan_key is not None and plan is None:
+        plan = ensure_plan_verified(
+            build_plan(capture, trace, geometry), capture, trace)
+        _DIRECT_PLANS[plan_key] = plan
+        while len(_DIRECT_PLANS) > _DIRECT_PLAN_LIMIT:
+            _DIRECT_PLANS.popitem(last=False)
+    return replay_capture(
+        trace, policy, capture, config, seed=seed,
+        replacement=replacement,
+        warmup_sampling_boost=warmup_sampling_boost,
+        always_sample=always_sample,
+        plan=plan,
+        hierarchy=hierarchy,
     )

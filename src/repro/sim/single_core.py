@@ -29,6 +29,12 @@ def run_trace(
     The first ``warmup_fraction`` of the trace warms caches, TLB and
     SLIP page metadata with statistics discarded afterwards — the
     analog of the paper's SimPoint warmup before measurement.
+
+    Eligible runs go through the composed kernel pipeline (batched
+    front-end capture -> batched replay, byte-identical by the kernel
+    contracts; see :func:`~repro.sim.filtered.try_run_direct`); the
+    scalar per-access walk below stays the golden reference and serves
+    every shape the pipeline declines.
     """
     config = config or default_system()
     hierarchy = build_hierarchy(
@@ -36,6 +42,32 @@ def run_trace(
         level_energy_overrides=level_energy_overrides,
         always_sample=always_sample,
     )
+    # Imported lazily: filtered.py imports this module at load time.
+    from .filtered import try_run_direct
+
+    result = try_run_direct(
+        hierarchy, trace, policy, config, seed=seed,
+        replacement=replacement, warmup_fraction=warmup_fraction,
+        warmup_sampling_boost=warmup_sampling_boost,
+        level_energy_overrides=level_energy_overrides,
+        always_sample=always_sample,
+    )
+    if result is not None:
+        return result
+    return _run_trace_scalar(hierarchy, trace, policy, config,
+                             warmup_fraction, warmup_sampling_boost)
+
+
+# slip-audit: twin=replay-plan role=ref
+def _run_trace_scalar(
+    hierarchy,
+    trace: Trace,
+    policy: str,
+    config: SystemConfig,
+    warmup_fraction: float,
+    warmup_sampling_boost: bool,
+) -> RunResult:
+    """The golden-reference scalar walk: one ``access()`` per reference."""
     addresses = trace.addresses.tolist()
     writes = trace.is_write.tolist()
     access = hierarchy.access

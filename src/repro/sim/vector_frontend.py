@@ -60,7 +60,6 @@ published.
 from __future__ import annotations
 
 import os
-import sys
 from collections import OrderedDict
 from dataclasses import asdict
 from typing import Dict, List, Optional
@@ -83,7 +82,6 @@ from .config import SystemConfig, line_to_page_shift
 from .vector_replay import _group_by_set
 
 _VECTOR_ENV = "REPRO_VECTOR_FRONTEND"
-_DEBUG_ENV = "REPRO_VECTOR_FRONTEND_DEBUG"
 _FALSEY = ("0", "false", "no", "off")
 
 
@@ -92,26 +90,16 @@ def frontend_enabled() -> bool:
     return os.environ.get(_VECTOR_ENV, "").strip().lower() not in _FALSEY
 
 
-def debug_enabled() -> bool:
-    """``REPRO_VECTOR_FRONTEND_DEBUG=1`` echoes declines to stderr."""
-    # Deferred import: filtered.py imports this module at load time.
-    from .filtered import debug_flag
-    return debug_flag(_DEBUG_ENV)
-
-
 def record_decline(hierarchy, reason: str) -> None:
     """Remember why the capture kernel bypassed this hierarchy.
 
-    Same contract as :func:`repro.sim.vector_replay.record_decline`:
-    the reason lands on ``hierarchy.vector_frontend_decline`` so tests
-    and benches can assert *why* a capture fell back to the scalar
-    walk, a successful kernel capture resets the attribute to ``None``,
-    and the debug env var echoes the reason to stderr (stdout stays
-    reserved for deterministic experiment output).
+    Same contract as :func:`repro.sim.vector_replay.record_decline`: a
+    thin wrapper over :func:`repro.sim.kernel_report.record_decline`,
+    which owns the structured record, the decline tallies, and the
+    shared stderr format.
     """
-    hierarchy.vector_frontend_decline = reason
-    if debug_enabled():
-        print(f"vector-frontend: decline ({reason})", file=sys.stderr)
+    from .kernel_report import record_decline as _record
+    _record(hierarchy, "frontend", reason)
 
 
 def frontend_eligible(hierarchy) -> bool:
@@ -194,7 +182,7 @@ class _L1Tally:
 
 
 def _run_l1(addrs: np.ndarray, writes: np.ndarray, warmup: int,
-            num_sets: int, ways: int):
+            num_sets: int, ways: int, grouped=None):
     """Resolve every L1 outcome with one tight loop per set.
 
     Returns ``(miss, victim, tally)``: per-access miss flags, the dirty
@@ -202,12 +190,17 @@ def _run_l1(addrs: np.ndarray, writes: np.ndarray, warmup: int,
     dirty), and the measured-phase tallies. Mirrors the fused
     hit/miss/fill path of ``MemoryHierarchy.access`` at tag level —
     for a uniform LRU L1 the victim of a full set is the unique
-    least-recent tag, so way identity never matters.
+    least-recent tag, so way identity never matters. ``grouped``
+    optionally supplies the per-set grouping precomputed by a
+    :class:`~repro.sim.replay_plan.ReplayPlan`.
     """
     n = int(addrs.shape[0])
-    meas = np.arange(n, dtype=np.int64) >= warmup
-    offs, evt, wr_l, tag_l, meas_l = _group_by_set(
-        writes, addrs, meas, num_sets)
+    if grouped is not None:
+        offs, evt, wr_l, tag_l, meas_l = grouped
+    else:
+        meas = np.arange(n, dtype=np.int64) >= warmup
+        offs, evt, wr_l, tag_l, meas_l = _group_by_set(
+            writes, addrs, meas, num_sets)
     miss: List[bool] = [False] * n
     victim: List[int] = [-1] * n
     tally = _L1Tally()
@@ -331,20 +324,25 @@ def capture_front_end_vector(
     trace: Trace,
     config: SystemConfig,
     warmup_fraction: float = 0.25,
+    plan=None,
 ) -> Optional[TraceCapture]:
     """Batched front-end capture, or ``None`` to use the scalar walk.
 
     ``hierarchy`` is only consulted for eligibility (and carries the
     decline reason); the capture itself is computed from the trace and
     config alone, which is exactly the policy-invariance contract of
-    :func:`repro.sim.filtered.front_end_fingerprint`.
+    :func:`repro.sim.filtered.front_end_fingerprint`. A verified
+    :class:`~repro.sim.replay_plan.ReplayPlan` supplies the per-set L1
+    grouping precomputed (its L1 part is a pure function of the trace,
+    so repeated direct runs share it).
     """
+    from .kernel_report import record_success
     if not frontend_enabled():
         record_decline(hierarchy, "env:REPRO_VECTOR_FRONTEND")
         return None
     if not frontend_eligible(hierarchy):
         return None
-    hierarchy.vector_frontend_decline = None
+    record_success(hierarchy, "frontend")
 
     l1cfg = config.l1
     addrs = np.asarray(trace.addresses, dtype=np.int64)
@@ -354,8 +352,9 @@ def capture_front_end_vector(
     pages = addrs >> line_to_page_shift(config.lines_per_page)
 
     tlb_pos = _tlb_miss_positions(pages, config.tlb_entries)
+    grouped = plan.l1_grouped(trace, warmup) if plan is not None else None
     miss, victim, tally = _run_l1(addrs, writes, warmup,
-                                  l1cfg.sets, l1cfg.ways)
+                                  l1cfg.sets, l1cfg.ways, grouped)
 
     # Scatter the per-access flags into the flat event stream. The
     # scalar per-access order is metadata (TLB miss) first, then the

@@ -61,7 +61,6 @@ kernel entirely.
 from __future__ import annotations
 
 import os
-import sys
 from typing import List, Optional, Tuple
 
 import numpy as np
@@ -79,7 +78,6 @@ from ..workloads.capture_store import (
 )
 
 _VECTOR_ENV = "REPRO_VECTOR_REPLAY"
-_DEBUG_ENV = "REPRO_VECTOR_REPLAY_DEBUG"
 _FALSEY = ("0", "false", "no", "off")
 
 #: Sentinel opcode for empty slots of the interleaved L3 stream.
@@ -91,26 +89,16 @@ def vector_enabled() -> bool:
     return os.environ.get(_VECTOR_ENV, "").strip().lower() not in _FALSEY
 
 
-def debug_enabled() -> bool:
-    """``REPRO_VECTOR_REPLAY_DEBUG=1`` echoes decline reasons to stderr."""
-    # Deferred import: filtered.py imports this module at load time.
-    from .filtered import debug_flag
-    return debug_flag(_DEBUG_ENV)
-
-
 def record_decline(hierarchy, reason: str) -> None:
     """Remember why a replay kernel bypassed this hierarchy.
 
-    The reason lands on ``hierarchy.vector_replay_decline`` so tests
-    and benches can assert *why* a cell fell back to the scalar walk
-    instead of inferring it from timings; a successful kernel run
-    resets the attribute to ``None``. With ``REPRO_VECTOR_REPLAY_DEBUG``
-    set, the reason is also echoed to stderr (stdout stays reserved for
-    deterministic experiment output).
+    Thin wrapper over :func:`repro.sim.kernel_report.record_decline`
+    (which owns the structured record, the decline tallies, and the
+    shared stderr format) kept under the historical name because the
+    SLIP replay kernel and the tests import it from here.
     """
-    hierarchy.vector_replay_decline = reason
-    if debug_enabled():
-        print(f"vector-replay: decline ({reason})", file=sys.stderr)
+    from .kernel_report import record_decline as _record
+    _record(hierarchy, "replay", reason)
 
 
 def eligible_kind(hierarchy) -> Optional[str]:
@@ -220,7 +208,7 @@ def _group_by_set(ops: np.ndarray, addrs: np.ndarray, meas: np.ndarray,
 # ----------------------------------------------------------------------
 # Baseline kernel (two passes: tag-level, then way assignment)
 # ----------------------------------------------------------------------
-def _run_baseline(level, placement, ops, addrs, meas):
+def _run_baseline(level, placement, ops, addrs, meas, plan_data=None):
     n = int(ops.shape[0])
     num_sets = level.num_sets
     ways = level.cfg.ways
@@ -229,7 +217,7 @@ def _run_baseline(level, placement, ops, addrs, meas):
     hist = tally.hist
     miss: List[bool] = [False] * n
     victim_tag: List[int] = [-1] * n
-    offs, evt, ops_l, addr_l, meas_l = _group_by_set(
+    offs, evt, ops_l, addr_l, meas_l = plan_data or _group_by_set(
         ops, addrs, meas, num_sets,
     )
 
@@ -254,10 +242,17 @@ def _run_baseline(level, placement, ops, addrs, meas):
         f_mm: List[int] = []
         f_wbin: List[int] = []
         f_wbout: List[int] = []
+        # Per-fill appends and the probe dominate this loop; method
+        # bindings amortize the attribute lookups over the set's events.
+        where_get = where.get
+        ap_evt, ap_vic, ap_tag = f_evt.append, f_vic.append, f_tag.append
+        ap_dirty, ap_hits = f_dirty.append, f_hits.append
+        ap_md, ap_mm = f_md.append, f_mm.append
+        ap_wbin, ap_wbout = f_wbin.append, f_wbout.append
         for k in range(a, b):
             op = ops_l[k]
             tag = addr_l[k]
-            j = where.get(tag)
+            j = where_get(tag)
             if op == OP_WRITEBACK:
                 if j is None:
                     miss[evt[k]] = True  # forwarded below
@@ -297,15 +292,15 @@ def _run_baseline(level, placement, ops, addrs, meas):
             else:
                 v = -1
             j = len(f_evt)
-            f_evt.append(e)
-            f_vic.append(v)
-            f_tag.append(tag)
-            f_dirty.append(False)
-            f_hits.append(0)
-            f_md.append(0)
-            f_mm.append(0)
-            f_wbin.append(0)
-            f_wbout.append(0)
+            ap_evt(e)
+            ap_vic(v)
+            ap_tag(tag)
+            ap_dirty(False)
+            ap_hits(0)
+            ap_md(0)
+            ap_mm(0)
+            ap_wbin(0)
+            ap_wbout(0)
             where[tag] = j
             order_.append(j)
         for j in where.values():  # finalize(): resident-line reuse
@@ -355,7 +350,7 @@ def _run_baseline(level, placement, ops, addrs, meas):
 # ----------------------------------------------------------------------
 # NuRAPID kernel (per-set pass with per-sublevel sorted stamp lists)
 # ----------------------------------------------------------------------
-def _run_nurapid(level, placement, ops, addrs, meas):
+def _run_nurapid(level, placement, ops, addrs, meas, plan_data=None):
     from bisect import bisect_left, insort
 
     n = int(ops.shape[0])
@@ -368,7 +363,7 @@ def _run_nurapid(level, placement, ops, addrs, meas):
     wbin_sub, wbout_sub = tally.wbin_sub, tally.wbout_sub
     miss: List[bool] = [False] * n
     victim_tag: List[int] = [-1] * n
-    offs, evt, ops_l, addr_l, meas_l = _group_by_set(
+    offs, evt, ops_l, addr_l, meas_l = plan_data or _group_by_set(
         ops, addrs, meas, num_sets,
     )
     demand_misses = metadata_misses = 0
@@ -507,7 +502,7 @@ def _run_nurapid(level, placement, ops, addrs, meas):
 # ----------------------------------------------------------------------
 # LRU-PEA kernel (global-order pass: one RNG draw per fill)
 # ----------------------------------------------------------------------
-def _run_lru_pea(level, placement, ops, addrs, meas):
+def _run_lru_pea(level, placement, ops, addrs, meas, plan_data=None):
     from bisect import bisect_left
 
     n = int(ops.shape[0])
@@ -520,10 +515,13 @@ def _run_lru_pea(level, placement, ops, addrs, meas):
     wbin_sub, wbout_sub = tally.wbin_sub, tally.wbout_sub
     miss: List[bool] = [False] * n
     victim_tag: List[int] = [-1] * n
-    set_l = (addrs % num_sets).tolist()
-    ops_l = ops.tolist()
-    addr_l = addrs.tolist()
-    meas_l = meas.tolist()
+    if plan_data is not None:
+        set_l, ops_l, addr_l, meas_l = plan_data
+    else:
+        set_l = (addrs % num_sets).tolist()
+        ops_l = ops.tolist()
+        addr_l = addrs.tolist()
+        meas_l = meas.tolist()
 
     # The insertion-sublevel draw replicates random.Random.choices with
     # k=1 over the sublevel-way weights: one self.random() call per
@@ -679,7 +677,7 @@ _RUNNERS = {
 # ----------------------------------------------------------------------
 # L3 stream derivation
 # ----------------------------------------------------------------------
-def _derive_l3_stream(ops, addrs, meas, l2_miss, l2_victim):
+def _derive_l3_stream(ops, addrs, meas, l2_miss, l2_victim, plan=None):
     """The event stream L3 sees, in the scalar replay's exact order.
 
     Per L2 event: the demand/metadata access travels on to L3 when it
@@ -687,18 +685,27 @@ def _derive_l3_stream(ops, addrs, meas, l2_miss, l2_victim):
     the L2 victim's writeback — emitted *after* the L3 access of the
     same event — follows immediately. Interleaving even slots (the
     forwarded event) with odd slots (the victim writeback) and masking
-    the empties reproduces that order without a python loop.
+    the empties reproduces that order without a python loop. With a
+    :class:`~repro.sim.replay_plan.ReplayPlan`, the policy-invariant
+    interleaved address/measured scaffolds come precomputed; only the
+    opcode lanes (which depend on the per-policy L2 outcome) are built
+    here.
     """
     n = int(ops.shape[0])
     ops2 = np.full(2 * n, _OP_NONE, dtype=np.uint8)
     ops2[0::2] = np.where(l2_miss, ops, _OP_NONE)
     ops2[1::2] = np.where(l2_victim >= 0, OP_WRITEBACK, _OP_NONE)
-    addr2 = np.empty(2 * n, dtype=np.int64)
-    addr2[0::2] = addrs
-    addr2[1::2] = l2_victim
-    meas2 = np.empty(2 * n, dtype=bool)
-    meas2[0::2] = meas
-    meas2[1::2] = meas
+    if plan is not None:
+        addr2 = np.asarray(plan.l3_addr2).copy()
+        addr2[1::2] = l2_victim
+        meas2 = np.asarray(plan.l3_meas2)
+    else:
+        addr2 = np.empty(2 * n, dtype=np.int64)
+        addr2[0::2] = addrs
+        addr2[1::2] = l2_victim
+        meas2 = np.empty(2 * n, dtype=bool)
+        meas2[0::2] = meas
+        meas2[1::2] = meas
     mask = ops2 != _OP_NONE
     return ops2[mask], addr2[mask], meas2[mask]
 
@@ -731,7 +738,8 @@ def _publish_level(level, tally: _LevelTally, mq_pj: float) -> None:
 
 
 # slip-audit: twin=vector-replay role=fast
-def replay_capture_vector(hierarchy, capture: TraceCapture) -> bool:
+def replay_capture_vector(hierarchy, capture: TraceCapture,
+                          plan=None) -> bool:
     """Batched replay of a baseline-kind capture; False to fall back.
 
     On success the hierarchy's L2/L3/DRAM statistics and counters hold
@@ -739,27 +747,38 @@ def replay_capture_vector(hierarchy, capture: TraceCapture) -> bool:
     arrays themselves stay empty (``finalize`` adds nothing — the
     kernel accounts resident-line reuse itself), and the always-on
     ``capture-replay-conservation`` audit still runs in the caller.
+    A verified :class:`~repro.sim.replay_plan.ReplayPlan` supplies the
+    policy-invariant precompute (per-set grouping, L3 scaffold,
+    measured mask); ``plan=None`` derives everything locally with the
+    same arithmetic.
     """
+    from .kernel_report import record_success
     if not vector_enabled():
         record_decline(hierarchy, "env:REPRO_VECTOR_REPLAY")
         return False
     kind = eligible_kind(hierarchy)
     if kind is None:
         return False
-    hierarchy.vector_replay_decline = None
+    record_success(hierarchy, "replay")
     run = _RUNNERS[kind]
 
     ops = np.asarray(capture.ops, dtype=np.uint8)
     addrs = np.asarray(capture.addrs, dtype=np.int64)
     n = int(ops.shape[0])
-    meas = np.zeros(n, dtype=bool)
-    meas[capture.event_boundary:] = True
+    if plan is not None:
+        meas = np.asarray(plan.measured_mask())
+        plan_data = (plan.l2_stream(capture) if kind == "lru_pea"
+                     else plan.l2_grouped(capture))
+    else:
+        meas = np.zeros(n, dtype=bool)
+        meas[capture.event_boundary:] = True
+        plan_data = None
 
     l2, l3 = hierarchy.l2, hierarchy.l3
     tally2, miss2, victim2 = run(l2, hierarchy.l2_placement,
-                                 ops, addrs, meas)
+                                 ops, addrs, meas, plan_data)
     ops3, addrs3, meas3 = _derive_l3_stream(ops, addrs, meas,
-                                            miss2, victim2)
+                                            miss2, victim2, plan)
     tally3, miss3, victim3 = run(l3, hierarchy.l3_placement,
                                  ops3, addrs3, meas3)
 

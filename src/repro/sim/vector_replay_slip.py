@@ -51,6 +51,7 @@ replacement ablations all decline cleanly (reason recorded via
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from typing import Dict, List, Tuple
 
 import numpy as np
@@ -156,6 +157,9 @@ def slip_eligible(hierarchy) -> bool:
     return True
 
 
+_LEVEL_MODEL_CACHE: Dict[Tuple, Tuple] = {}
+
+
 def _level_model(level, placement) -> Tuple:
     """Structural constants of one SLIP level for the flat-array model.
 
@@ -163,22 +167,33 @@ def _level_model(level, placement) -> Tuple:
     produces for rotor value ``r`` on that chunk — the chunk-0 slice
     reproduces ``SlipSpace.chunk0_orders_by_id`` and the deeper chunks
     extend the same precomputation to cascade victim selection.
+    Memoised on the hashable structural inputs (the SlipSpace way/class
+    tables plus the level's sublevel/latency shape), so repeated
+    replays of the same hierarchy shape skip the nested rotation-table
+    construction per call.
     """
     space = placement.space
-    rots = tuple(
-        tuple(
-            tuple(tuple(ways[r:] + ways[:r]) for r in range(len(ways)))
-            for ways in per_chunk
-        )
-        for per_chunk in space.chunk_ways_by_id
-    )
-    cls_idx = tuple(_CLASSES.index(c) for c in space.class_by_id)
     nsub = level.cfg.num_sublevels
     sub = tuple(level.sublevel_by_way)
-    lat_by_sub = [0] * nsub
-    for way, s in enumerate(sub):
-        lat_by_sub[s] = level.latency_by_way[way]
-    return rots, cls_idx, nsub, sub, lat_by_sub
+    lat = tuple(level.latency_by_way)
+    key = (space.chunk_ways_by_id, space.class_by_id, nsub, sub, lat)
+    cached = _LEVEL_MODEL_CACHE.get(key)
+    if cached is None:
+        rots = tuple(
+            tuple(
+                tuple(tuple(ways[r:] + ways[:r])
+                      for r in range(len(ways)))
+                for ways in per_chunk
+            )
+            for per_chunk in space.chunk_ways_by_id
+        )
+        cls_idx = tuple(_CLASSES.index(c) for c in space.class_by_id)
+        lat_by_sub = [0] * nsub
+        for way, s in enumerate(sub):
+            lat_by_sub[s] = lat[way]
+        cached = (rots, cls_idx, nsub, sub, tuple(lat_by_sub))
+        _LEVEL_MODEL_CACHE[key] = cached
+    return cached
 
 
 _CODE_TABLE_CACHE: Dict[Tuple, Tuple] = {}
@@ -205,7 +220,8 @@ def _code_tables(sub: Tuple[int, ...], ways: int, size: int) -> Tuple:
 
 # slip-audit: twin=slip-vector-replay role=fast
 def replay_capture_vector_slip(hierarchy, trace: Trace,
-                               capture: TraceCapture) -> bool:
+                               capture: TraceCapture,
+                               plan=None) -> bool:
     """Phase-split replay of a slip-kind capture; False to fall back.
 
     On success the hierarchy's L2/L3/DRAM statistics, counters and the
@@ -213,14 +229,18 @@ def replay_capture_vector_slip(hierarchy, trace: Trace,
     have produced; the cache arrays themselves stay empty (``finalize``
     adds nothing — resident-line reuse is accounted here) and the
     always-on ``capture-replay-conservation`` audit still runs in the
-    caller.
+    caller. A verified :class:`~repro.sim.replay_plan.ReplayPlan`
+    supplies the captured-position address/page/PTE resolutions (and
+    their sentinel-terminated list forms) precomputed; ``plan=None``
+    derives them locally with the same arithmetic.
     """
+    from .kernel_report import record_success
     if not vector_enabled():
         record_decline(hierarchy, "env:REPRO_VECTOR_REPLAY")
         return False
     if not slip_eligible(hierarchy):
         return False
-    hierarchy.vector_replay_decline = None
+    record_success(hierarchy, "replay")
 
     runtime = hierarchy.runtime
     l2, l3 = hierarchy.l2, hierarchy.l3
@@ -232,17 +252,30 @@ def replay_capture_vector_slip(hierarchy, trace: Trace,
     # ----- captured positions, resolved to addresses/pages up front ---
     n = capture.n
     warmup = capture.warmup
-    shift = hierarchy._page_shift
-    addresses = trace.addresses
-    miss_positions = capture.l1_miss_pos.tolist()
-    miss_np = addresses[np.asarray(capture.l1_miss_pos)]
-    miss_addrs = miss_np.tolist()
-    miss_pages = (miss_np >> shift).tolist()
-    wb_addrs = capture.l1_miss_wb.tolist()
-    tlb_positions = capture.tlb_miss_pos.tolist()
-    tlb_pages_np = addresses[np.asarray(capture.tlb_miss_pos)] >> shift
-    tlb_pages = tlb_pages_np.tolist()
-    pte_addrs = (PTE_TABLE_BASE + tlb_pages_np // PTES_PER_LINE).tolist()
+    num_miss = int(capture.l1_miss_pos.shape[0])
+    if plan is not None:
+        # Plan lists are shared across cells and already carry the
+        # merge sentinels; the kernel must not mutate them.
+        (miss_positions, miss_addrs, miss_pages, wb_addrs,
+         tlb_positions, tlb_pages, pte_addrs) = plan.slip_lists(capture)
+    else:
+        shift = hierarchy._page_shift
+        addresses = trace.addresses
+        miss_positions = capture.l1_miss_pos.tolist()
+        miss_np = addresses[np.asarray(capture.l1_miss_pos)]
+        miss_addrs = miss_np.tolist()
+        miss_pages = (miss_np >> shift).tolist()
+        wb_addrs = capture.l1_miss_wb.tolist()
+        tlb_positions = capture.tlb_miss_pos.tolist()
+        tlb_pages_np = addresses[np.asarray(capture.tlb_miss_pos)] \
+            >> shift
+        tlb_pages = tlb_pages_np.tolist()
+        pte_addrs = (PTE_TABLE_BASE
+                     + tlb_pages_np // PTES_PER_LINE).tolist()
+        # Sentinel-terminated merge: both position lists end with n,
+        # which is >= every stop, so the walk needs no bounds checks.
+        tlb_positions.append(n)
+        miss_positions.append(n)
 
     # ----- live runtime surface (the page machinery runs for real) ---
     pages = runtime.pages
@@ -328,28 +361,269 @@ def replay_capture_vector_slip(hierarchy, trace: Trace,
     hd2, hm2, wa2 = _code_tables(sub2, W2, size2)
     hd3, hm3, wa3 = _code_tables(sub3, W3, size3)
 
-    def fill2(addr: int, page: int, entry, is_meta: bool,
-              s: int) -> int:
-        """SLIP fill at L2; returns the victim writeback tag or -1."""
-        nonlocal r2, c2, byp2
+    # Hot-path method bindings: every below-L1 event probes a level
+    # dict and appends an annotation code, and the attribute lookups
+    # are measurable at that rate.
+    d2_get = d2.get
+    d3_get = d3.get
+    pages_get = pages.get
+    ann2_app = ann2.append
+    ann3_app = ann3.append
+
+    def wb_l3(addr: int) -> None:
+        """Mirror of ``_writeback_to_l3`` against the flat model."""
+        nonlocal a3, dram_wb
+        a3 += 1
+        if a3 == wrap3:
+            a3 = 0
+        f = d3_get(addr)
+        if f is not None:
+            dirty3[f] = True
+            ann3_app(wa3[f])
+        else:
+            ann3_app(_FWD)
+            dram_wb += 1
+
+    def l1_wb(addr: int) -> None:
+        """Mirror of ``_writeback_below_l1`` against the flat model."""
+        nonlocal a2
+        a2 += 1
+        if a2 == wrap2:
+            a2 = 0
+        f = d2_get(addr)
+        if f is not None:
+            dirty2[f] = True
+            ann2_app(wa2[f])
+        else:
+            ann2_app(_FWD)
+            wb_l3(addr)
+
+    def below(addr: int, page: int, is_meta: bool) -> None:
+        """Mirror of ``_access_below_l1``: L2 -> L3 -> DRAM + fills.
+
+        The per-level SLIP fills are inlined at their (single) call
+        sites rather than factored into helpers: this body runs once
+        per below-L1 event and the two extra call frames are
+        measurable on the replay path.
+        """
+        nonlocal a2, a3, c2, c3, r2, r3, byp2, byp3, dram_wb
+        a2 += 1
+        if a2 == wrap2:
+            a2 = 0
+        f = d2_get(addr)
+        if f is not None:
+            hits2[f] += 1
+            ann2_app(hm2[f] if is_meta else hd2[f])
+            c2 += 1
+            lru2[f] = c2
+            now = (a2 // gran2) & mask2
+            # on_hit: reuse-distance sample for sampling pages + TL.
+            pgv = pg2[f]
+            if pgv >= 0 and not meta2[f]:
+                entry = pages_get(pgv)
+                if entry is not None and (always
+                                          or entry.state is SAMPLING):
+                    distance = ((now - ts2[f]) & mask2) * gran2
+                    if distance > maxd2:
+                        distance = maxd2
+                    # ``ReuseDistanceDistribution.record`` inlined (as
+                    # at every sample site in this kernel): one frame
+                    # per sampled event is measurable here.
+                    dist = entry.distributions[name2]
+                    counts = dist.counts
+                    bin_idx = bisect_right(dist.boundaries, distance)
+                    if counts[bin_idx] >= dist.counter_max:
+                        dist.counts = counts = [c >> 1 for c in counts]
+                    counts[bin_idx] += 1
+                    if entry.period_samples < 63:
+                        entry.period_samples += 1
+            ts2[f] = now
+            return
+        ann2_app(_MISS_M if is_meta else _MISS_D)
+        # One page-entry probe per event: nothing between here and the
+        # fills can change the page table (recomputation only happens
+        # inside key_fetches, between events).
+        pe = None
+        if not is_meta:
+            # record_miss_sample("L2", page), gating inlined.
+            pe = pages_get(page)
+            if pe is not None and (always or pe.state is SAMPLING):
+                dist = pe.distributions[name2]
+                counts = dist.counts
+                if counts[-1] >= dist.counter_max:
+                    dist.counts = counts = [c >> 1 for c in counts]
+                counts[-1] += 1
+                if pe.period_samples < 63:
+                    pe.period_samples += 1
+
+        # ----- L3 -----
+        a3 += 1
+        if a3 == wrap3:
+            a3 = 0
+        f = d3_get(addr)
+        if f is not None:
+            hits3[f] += 1
+            ann3_app(hm3[f] if is_meta else hd3[f])
+            c3 += 1
+            lru3[f] = c3
+            now = (a3 // gran3) & mask3
+            pgv = pg3[f]
+            if pgv >= 0 and not meta3[f]:
+                entry = pages_get(pgv)
+                if entry is not None and (always
+                                          or entry.state is SAMPLING):
+                    distance = ((now - ts3[f]) & mask3) * gran3
+                    if distance > maxd3:
+                        distance = maxd3
+                    dist = entry.distributions[name3]
+                    counts = dist.counts
+                    bin_idx = bisect_right(dist.boundaries, distance)
+                    if counts[bin_idx] >= dist.counter_max:
+                        dist.counts = counts = [c >> 1 for c in counts]
+                    counts[bin_idx] += 1
+                    if entry.period_samples < 63:
+                        entry.period_samples += 1
+            ts3[f] = now
+        else:
+            ann3_app(_MISS_M if is_meta else _MISS_D)
+            if pe is not None and (always or pe.state is SAMPLING):
+                dist = pe.distributions[name3]
+                counts = dist.counts
+                if counts[-1] >= dist.counter_max:
+                    dist.counts = counts = [c >> 1 for c in counts]
+                counts[-1] += 1
+                if pe.period_samples < 63:
+                    pe.period_samples += 1
+            # SLIP fill at L3.  The DRAM read is derived from the miss
+            # annotation in phase 2.
+            if is_meta or page < 0:
+                sid = sdef3
+            elif pe is None:
+                sid = def3
+            elif pe.state is SAMPLING:
+                sid = def3
+            else:
+                sid = pe.policies[name3]
+            rchunks = rot3[sid]
+            if not rchunks:
+                # All-Bypass Policy; fills on this path are never dirty.
+                byp3 += 1
+                cls3[cidx3[sid]] += 1
+            else:
+                orders = rchunks[0]
+                r3 = (r3 + 1) % 64
+                order = orders[r3 % len(orders)]
+                base = (addr % S3) * W3
+                # Merged invalid-first/min-LRU scan; see the L2 fill.
+                vw = -1
+                best = _INF
+                for w in order:
+                    stamp = lru3[base + w]
+                    if stamp < best:
+                        vw = w
+                        if not stamp:
+                            break
+                        best = stamp
+                f = base + vw
+                wb = -1
+                vt = tag3[f]
+                cascade = vt >= 0 and ci3[f] + 1 < nch3[pid3[f]]
+                if cascade:
+                    cv = (vt, dirty3[f], pid3[f], ci3[f], ts3[f],
+                          hits3[f], pg3[f], meta3[f], lru3[f], vw)
+                    del d3[vt]
+                elif vt >= 0:
+                    h = hits3[f]
+                    hist3[h if h < 3 else 3] += 1
+                    del d3[vt]
+                    if dirty3[f]:
+                        wbout3[sub3[vw]] += 1
+                        wb = vt
+                tag3[f] = addr
+                d3[addr] = f
+                dirty3[f] = False
+                pid3[f] = sid
+                ci3[f] = 0
+                pg3[f] = page
+                meta3[f] = is_meta
+                ts3[f] = (a3 // gran3) & mask3
+                hits3[f] = 0
+                c3 += 1
+                lru3[f] = c3
+                ins3[sub3[vw]] += 1
+                cls3[cidx3[sid]] += 1
+                if cascade:
+                    (vt, vdirty, vpid, vci, vts, vhits, vpg, vmeta,
+                     vlru, vfrom) = cv
+                    guard = guard3
+                    while True:
+                        guard -= 1
+                        nc = vci + 1
+                        if guard <= 0 or nc >= nch3[vpid]:
+                            hist3[vhits if vhits < 3 else 3] += 1
+                            if vdirty:
+                                wbout3[sub3[vfrom]] += 1
+                                wb = vt
+                            break
+                        orders = rot3[vpid][nc]
+                        r3 = (r3 + 1) % 64
+                        order = orders[r3 % len(orders)]
+                        w = -1
+                        best = _INF
+                        for cand in order:
+                            stamp = lru3[base + cand]
+                            if stamp < best:
+                                w = cand
+                                if not stamp:
+                                    break
+                                best = stamp
+                        f = base + w
+                        dt = tag3[f]
+                        if dt >= 0:
+                            disp = (dt, dirty3[f], pid3[f], ci3[f],
+                                    ts3[f], hits3[f], pg3[f],
+                                    meta3[f], lru3[f], w)
+                            del d3[dt]
+                        else:
+                            disp = None
+                        tag3[f] = vt
+                        d3[vt] = f
+                        dirty3[f] = vdirty
+                        pid3[f] = vpid
+                        ci3[f] = nc
+                        ts3[f] = vts
+                        hits3[f] = vhits
+                        pg3[f] = vpg
+                        meta3[f] = vmeta
+                        lru3[f] = vlru
+                        mvr3[sub3[vfrom]] += 1
+                        mvw3[sub3[w]] += 1
+                        if disp is None:
+                            break
+                        (vt, vdirty, vpid, vci, vts, vhits, vpg,
+                         vmeta, vlru, vfrom) = disp
+                if wb >= 0:
+                    dram_wb += 1
+
+        # Fill L2 on the way back (possibly bypassed).
         if is_meta or page < 0:
             sid = sdef2
-        elif entry is None:
+        elif pe is None:
             sid = def2
-        elif entry.state is SAMPLING:
+        elif pe.state is SAMPLING:
             sid = def2
         else:
-            sid = entry.policies[name2]
+            sid = pe.policies[name2]
         rchunks = rot2[sid]
         if not rchunks:
             # All-Bypass Policy; fills on this path are never dirty.
             byp2 += 1
             cls2[cidx2[sid]] += 1
-            return -1
+            return
         orders = rchunks[0]
         r2 = (r2 + 1) % 64
         order = orders[r2 % len(orders)]
-        base = s * W2
+        base = (addr % S2) * W2
         # Invalid slots keep lru == 0 forever (clocks start >= 0 and
         # every fill stamps c2+1 >= 1), so one strict-min scan finds
         # the first invalid way in rotation order, else the LRU way —
@@ -440,231 +714,10 @@ def replay_capture_vector_slip(hierarchy, trace: Trace,
                     break
                 (vt, vdirty, vpid, vci, vts, vhits, vpg, vmeta, vlru,
                  vfrom) = disp
-        return wb
-
-    def fill3(addr: int, page: int, entry, is_meta: bool,
-              s: int) -> int:
-        """SLIP fill at L3; returns the victim writeback tag or -1."""
-        nonlocal r3, c3, byp3
-        if is_meta or page < 0:
-            sid = sdef3
-        elif entry is None:
-            sid = def3
-        elif entry.state is SAMPLING:
-            sid = def3
-        else:
-            sid = entry.policies[name3]
-        rchunks = rot3[sid]
-        if not rchunks:
-            byp3 += 1
-            cls3[cidx3[sid]] += 1
-            return -1
-        orders = rchunks[0]
-        r3 = (r3 + 1) % 64
-        order = orders[r3 % len(orders)]
-        base = s * W3
-        # Merged invalid-first/min-LRU scan; see the fill2 comment.
-        vw = -1
-        best = _INF
-        for w in order:
-            stamp = lru3[base + w]
-            if stamp < best:
-                vw = w
-                if not stamp:
-                    break
-                best = stamp
-        f = base + vw
-        wb = -1
-        vt = tag3[f]
-        cascade = vt >= 0 and ci3[f] + 1 < nch3[pid3[f]]
-        if cascade:
-            cv = (vt, dirty3[f], pid3[f], ci3[f], ts3[f], hits3[f],
-                  pg3[f], meta3[f], lru3[f], vw)
-            del d3[vt]
-        elif vt >= 0:
-            h = hits3[f]
-            hist3[h if h < 3 else 3] += 1
-            del d3[vt]
-            if dirty3[f]:
-                wbout3[sub3[vw]] += 1
-                wb = vt
-        tag3[f] = addr
-        d3[addr] = f
-        dirty3[f] = False
-        pid3[f] = sid
-        ci3[f] = 0
-        pg3[f] = page
-        meta3[f] = is_meta
-        ts3[f] = (a3 // gran3) & mask3
-        hits3[f] = 0
-        c3 += 1
-        lru3[f] = c3
-        ins3[sub3[vw]] += 1
-        cls3[cidx3[sid]] += 1
-        if cascade:
-            (vt, vdirty, vpid, vci, vts, vhits, vpg, vmeta, vlru,
-             vfrom) = cv
-            guard = guard3
-            while True:
-                guard -= 1
-                nc = vci + 1
-                if guard <= 0 or nc >= nch3[vpid]:
-                    hist3[vhits if vhits < 3 else 3] += 1
-                    if vdirty:
-                        wbout3[sub3[vfrom]] += 1
-                        wb = vt
-                    break
-                orders = rot3[vpid][nc]
-                r3 = (r3 + 1) % 64
-                order = orders[r3 % len(orders)]
-                w = -1
-                best = _INF
-                for cand in order:
-                    stamp = lru3[base + cand]
-                    if stamp < best:
-                        w = cand
-                        if not stamp:
-                            break
-                        best = stamp
-                f = base + w
-                dt = tag3[f]
-                if dt >= 0:
-                    disp = (dt, dirty3[f], pid3[f], ci3[f], ts3[f],
-                            hits3[f], pg3[f], meta3[f], lru3[f], w)
-                    del d3[dt]
-                else:
-                    disp = None
-                tag3[f] = vt
-                d3[vt] = f
-                dirty3[f] = vdirty
-                pid3[f] = vpid
-                ci3[f] = nc
-                ts3[f] = vts
-                hits3[f] = vhits
-                pg3[f] = vpg
-                meta3[f] = vmeta
-                lru3[f] = vlru
-                mvr3[sub3[vfrom]] += 1
-                mvw3[sub3[w]] += 1
-                if disp is None:
-                    break
-                (vt, vdirty, vpid, vci, vts, vhits, vpg, vmeta, vlru,
-                 vfrom) = disp
-        return wb
-
-    def wb_l3(addr: int) -> None:
-        """Mirror of ``_writeback_to_l3`` against the flat model."""
-        nonlocal a3, dram_wb
-        a3 += 1
-        if a3 == wrap3:
-            a3 = 0
-        f = d3.get(addr)
-        if f is not None:
-            dirty3[f] = True
-            ann3.append(wa3[f])
-        else:
-            ann3.append(_FWD)
-            dram_wb += 1
-
-    def l1_wb(addr: int) -> None:
-        """Mirror of ``_writeback_below_l1`` against the flat model."""
-        nonlocal a2
-        a2 += 1
-        if a2 == wrap2:
-            a2 = 0
-        f = d2.get(addr)
-        if f is not None:
-            dirty2[f] = True
-            ann2.append(wa2[f])
-        else:
-            ann2.append(_FWD)
-            wb_l3(addr)
-
-    def below(addr: int, page: int, is_meta: bool) -> None:
-        """Mirror of ``_access_below_l1``: L2 -> L3 -> DRAM + fills."""
-        nonlocal a2, a3, c2, c3, dram_wb
-        a2 += 1
-        if a2 == wrap2:
-            a2 = 0
-        f = d2.get(addr)
-        if f is not None:
-            hits2[f] += 1
-            ann2.append(hm2[f] if is_meta else hd2[f])
-            c2 += 1
-            lru2[f] = c2
-            now = (a2 // gran2) & mask2
-            # on_hit: reuse-distance sample for sampling pages + TL.
-            pgv = pg2[f]
-            if pgv >= 0 and not meta2[f]:
-                entry = pages.get(pgv)
-                if entry is not None and (always
-                                          or entry.state is SAMPLING):
-                    distance = ((now - ts2[f]) & mask2) * gran2
-                    if distance > maxd2:
-                        distance = maxd2
-                    entry.distributions[name2].record(distance)
-                    if entry.period_samples < 63:
-                        entry.period_samples += 1
-            ts2[f] = now
-            return
-        ann2.append(_MISS_M if is_meta else _MISS_D)
-        # One page-entry probe per event: nothing between here and the
-        # fills can change the page table (recomputation only happens
-        # inside key_fetches, between events).
-        pe = None
-        if not is_meta:
-            # record_miss_sample("L2", page), gating inlined.
-            pe = pages.get(page)
-            if pe is not None and (always or pe.state is SAMPLING):
-                pe.distributions[name2].record_miss()
-                if pe.period_samples < 63:
-                    pe.period_samples += 1
-
-        # ----- L3 -----
-        a3 += 1
-        if a3 == wrap3:
-            a3 = 0
-        f = d3.get(addr)
-        if f is not None:
-            hits3[f] += 1
-            ann3.append(hm3[f] if is_meta else hd3[f])
-            c3 += 1
-            lru3[f] = c3
-            now = (a3 // gran3) & mask3
-            pgv = pg3[f]
-            if pgv >= 0 and not meta3[f]:
-                entry = pages.get(pgv)
-                if entry is not None and (always
-                                          or entry.state is SAMPLING):
-                    distance = ((now - ts3[f]) & mask3) * gran3
-                    if distance > maxd3:
-                        distance = maxd3
-                    entry.distributions[name3].record(distance)
-                    if entry.period_samples < 63:
-                        entry.period_samples += 1
-            ts3[f] = now
-        else:
-            ann3.append(_MISS_M if is_meta else _MISS_D)
-            if pe is not None and (always or pe.state is SAMPLING):
-                pe.distributions[name3].record_miss()
-                if pe.period_samples < 63:
-                    pe.period_samples += 1
-            # DRAM read is derived from the miss annotation in phase 2.
-            wb = fill3(addr, page, pe, is_meta, addr % S3)
-            if wb >= 0:
-                dram_wb += 1
-
-        # Fill L2 on the way back (possibly bypassed).
-        wb = fill2(addr, page, pe, is_meta, addr % S2)
         if wb >= 0:
             wb_l3(wb)
 
     # ----- phase 1: merged-order sweep (warmup, then measured) -----
-    num_miss = len(miss_positions)
-    # Sentinel-terminated merge: both position lists end with n, which
-    # is >= every stop, so the walk needs no bounds checks.
-    tlb_positions.append(n)
-    miss_positions.append(n)
     tlb_i = miss_i = 0
     tlb_misses = 0
     b2 = b3 = bf = 0

@@ -12,6 +12,7 @@ from .capture_store import (
     MemoryCaptureStore,
     TraceCapture,
     default_store,
+    reset_default_store,
     trace_content_digest,
 )
 from .generators import (
@@ -47,5 +48,6 @@ __all__ = [
     "make_mix_traces",
     "make_trace",
     "mix_name",
+    "reset_default_store",
     "trace_content_digest",
 ]

@@ -25,6 +25,15 @@ Two stores implement the same two-method protocol (``get``/``put``):
   (``REPRO_CAPTURE_MAX_MB``, default 512, oldest-mtime eviction), and
   a corrupt or truncated entry is quarantined on load: ``get`` returns
   ``None`` and the caller falls back to direct simulation.
+
+Both stores also cache :class:`~repro.sim.replay_plan.ReplayPlan`
+sidecars next to their captures (``get_plan``/``put_plan``, keyed by
+capture key + back-end geometry key): live objects in the memory
+store, memmap array directories (``plan-<geometry digest>/`` inside
+the capture's entry) on disk — same atomic tmp+rename write, same
+quarantine-on-corruption discipline, and evicted together with their
+capture. Plan (de)serialization itself lives in
+:mod:`repro.sim.replay_plan`; the stores only move bytes.
 """
 
 from __future__ import annotations
@@ -213,6 +222,9 @@ class MemoryCaptureStore:
         self.max_entries = (_resolve_mem_entries()
                             if max_entries is None else max_entries)
         self._entries: "OrderedDict[str, TraceCapture]" = OrderedDict()
+        # Replay plans, LRU'd independently: one capture can carry a
+        # plan per back-end geometry, so the key is the pair.
+        self._plans: "OrderedDict[Tuple[str, str], object]" = OrderedDict()
 
     def get(self, key: str) -> Optional[TraceCapture]:
         capture = self._entries.get(key)
@@ -226,12 +238,29 @@ class MemoryCaptureStore:
         self._entries.move_to_end(key)
         self._trim()
 
+    def get_plan(self, key: str, geom_key: str):
+        plan = self._plans.get((key, geom_key))
+        if plan is not None:
+            self._plans.move_to_end((key, geom_key))
+        return plan
+
+    def put_plan(self, key: str, geom_key: str, plan) -> None:
+        self._plans[(key, geom_key)] = plan
+        self._plans.move_to_end((key, geom_key))
+        self._trim()
+
+    def invalidate_plan(self, key: str, geom_key: str) -> None:
+        self._plans.pop((key, geom_key), None)
+
     def _trim(self) -> None:
         while len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)
+        while len(self._plans) > self.max_entries:
+            self._plans.popitem(last=False)
 
     def clear(self) -> None:
         self._entries.clear()
+        self._plans.clear()
 
 
 class DiskCaptureStore:
@@ -332,8 +361,72 @@ class DiskCaptureStore:
             return
         self._evict(keep=os.path.basename(path))
 
+    # ------------------------------------------------------------------
+    # Replay-plan sidecars (one subdirectory per back-end geometry)
+    # ------------------------------------------------------------------
+    def _plan_dir(self, key: str, geom_key: str) -> str:
+        return os.path.join(self._entry_dir(key),
+                            f"plan-{key_digest(geom_key)[:16]}")
+
+    def get_plan(self, key: str, geom_key: str):
+        plan = self._memo.get_plan(key, geom_key)
+        if plan is not None:
+            return plan
+        path = self._plan_dir(key, geom_key)
+        if not os.path.isdir(path):
+            return None
+        # Deferred import: repro.sim.replay_plan imports this module.
+        from ..sim.replay_plan import load_plan_dir
+
+        try:
+            plan = load_plan_dir(path, geom_key)
+        except ForeignEntryError:
+            # Geometry-digest collision: another geometry's (healthy)
+            # sidecar. A miss, never a quarantine.
+            return None
+        except (OSError, ValueError, KeyError, CaptureError,
+                json.JSONDecodeError):
+            # Corrupt/truncated sidecar: quarantine only the plan —
+            # the capture entry beside it is untouched and stays valid.
+            shutil.rmtree(path, ignore_errors=True)
+            return None
+        self._memo.put_plan(key, geom_key, plan)
+        return plan
+
+    def put_plan(self, key: str, geom_key: str, plan) -> None:
+        self._memo.put_plan(key, geom_key, plan)
+        if not os.path.isdir(self._entry_dir(key)):
+            # No capture entry on disk (lost publish race, read-only
+            # volume): the sidecar has nothing to ride along with, and
+            # the in-memory memo still serves this process.
+            return
+        path = self._plan_dir(key, geom_key)
+        if os.path.isdir(path):
+            return
+        from ..sim.replay_plan import save_plan_dir
+
+        tmp = f"{path}.tmp-{os.getpid()}"
+        try:
+            save_plan_dir(tmp, plan, geom_key)
+            os.rename(tmp, path)
+        except OSError:
+            shutil.rmtree(tmp, ignore_errors=True)
+            return
+        self._evict(keep=os.path.basename(self._entry_dir(key)))
+
+    def invalidate_plan(self, key: str, geom_key: str) -> None:
+        """Quarantine one plan sidecar (memo + disk); keep the capture."""
+        self._memo.invalidate_plan(key, geom_key)
+        shutil.rmtree(self._plan_dir(key, geom_key), ignore_errors=True)
+
     def _evict(self, keep: str) -> None:
-        """Drop oldest entries until the store fits ``max_bytes``."""
+        """Drop oldest entries until the store fits ``max_bytes``.
+
+        Sizes are accumulated recursively: an entry directory now holds
+        plan sidecar subdirectories alongside its capture arrays, and
+        both are budgeted (and evicted) as one unit. In-flight
+        ``.tmp-`` writes are skipped at any depth.
+        """
         try:
             names = sorted(os.listdir(self.root))
         except OSError:
@@ -346,9 +439,12 @@ class DiskCaptureStore:
                 continue
             size = 0
             try:
-                with os.scandir(path) as it:
-                    for item in it:
-                        size += item.stat().st_size
+                for dirpath, dirnames, filenames in os.walk(path):
+                    dirnames[:] = [d for d in dirnames
+                                   if ".tmp-" not in d]
+                    for filename in filenames:
+                        size += os.stat(
+                            os.path.join(dirpath, filename)).st_size
                 mtime = os.path.getmtime(path)
             except OSError:
                 continue
@@ -404,27 +500,66 @@ def _resolve_max_mb() -> int:
     return _DEFAULT_MAX_MB
 
 
+#: (raw env tuple, resolved store) of the last default_store() call.
+#: Re-resolving the environment (and trimming the memory singleton)
+#: only when a knob actually changes keeps the per-cell cost of
+#: default_store() to one tuple comparison.
+_RESOLVED_ENV: Optional[Tuple[str, str, str]] = None
+_RESOLVED_STORE = None
+
+
 def default_store():
-    """The store implied by the environment, re-resolved per call.
+    """The store implied by the environment, resolved once per config.
 
     ``REPRO_CAPTURE_DIR`` selects (and creates) an on-disk store —
     worker processes inherit the variable and share it; otherwise the
-    process-wide in-memory store is used.
+    process-wide in-memory store is used. The resolution is memoized on
+    the raw values of the three knobs, so repeated calls (one per sweep
+    cell) skip the int parsing, ``abspath`` and singleton trim until
+    the environment actually changes; :func:`reset_default_store`
+    drops the memo (tests that fiddle with cwd-relative paths or want
+    a pristine singleton call it between cases).
     """
-    root = os.environ.get(CAPTURE_DIR_ENV, "").strip()
+    global _RESOLVED_ENV, _RESOLVED_STORE
+    env = (
+        os.environ.get(CAPTURE_DIR_ENV, "").strip(),
+        os.environ.get(CAPTURE_MAX_MB_ENV, "").strip(),
+        os.environ.get(CAPTURE_MEM_ENTRIES_ENV, "").strip(),
+    )
+    if env == _RESOLVED_ENV and _RESOLVED_STORE is not None:
+        return _RESOLVED_STORE
+    root = env[0]
     if not root:
-        # Honor capacity changes made after import: the singleton's
-        # limit tracks the environment, trimming immediately so a
-        # shrink takes effect without waiting for the next put.
+        # Honor capacity changes: the singleton's limit tracks the
+        # environment, trimming immediately so a shrink takes effect
+        # without waiting for the next put.
         _MEMORY_STORE.max_entries = _resolve_mem_entries()
         _MEMORY_STORE._trim()
-        return _MEMORY_STORE
-    max_mb = _resolve_max_mb()
-    cache_key = (os.path.abspath(root), max_mb)
-    store = _DISK_STORES.get(cache_key)
-    if store is None:
-        os.makedirs(root, exist_ok=True)
-        store = DiskCaptureStore(cache_key[0],
-                                 max_bytes=max_mb * 1024 * 1024)
-        _DISK_STORES[cache_key] = store
+        store = _MEMORY_STORE
+    else:
+        max_mb = _resolve_max_mb()
+        cache_key = (os.path.abspath(root), max_mb)
+        store = _DISK_STORES.get(cache_key)
+        if store is None:
+            os.makedirs(root, exist_ok=True)
+            store = DiskCaptureStore(cache_key[0],
+                                     max_bytes=max_mb * 1024 * 1024)
+            _DISK_STORES[cache_key] = store
+    _RESOLVED_ENV = env
+    _RESOLVED_STORE = store
     return store
+
+
+def reset_default_store() -> None:
+    """Forget the resolved default-store configuration (for tests).
+
+    Clears the memoized environment resolution, empties the in-memory
+    singleton (captures and plans) and drops the cached disk-store
+    handles, so the next :func:`default_store` call re-resolves from a
+    clean slate.
+    """
+    global _RESOLVED_ENV, _RESOLVED_STORE
+    _RESOLVED_ENV = None
+    _RESOLVED_STORE = None
+    _MEMORY_STORE.clear()
+    _DISK_STORES.clear()

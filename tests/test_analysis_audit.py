@@ -56,7 +56,7 @@ def test_registry_covers_the_documented_pairs():
     assert {p.pair_id for p in TWIN_REGISTRY} == {
         "baseline-fill", "slip-fill", "l1-access", "below-l1",
         "wb-l2", "wb-l3", "eou-optimize", "vector-replay",
-        "slip-vector-replay", "vector-frontend",
+        "slip-vector-replay", "vector-frontend", "replay-plan",
     }
 
 
